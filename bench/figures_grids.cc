@@ -1,0 +1,73 @@
+// Reproduces Figures 1 and 2 of the paper: the grid layouts DefineGrid
+// produces for N = 14 and N = 3, the paper's example write quorum, and
+// the optimized vs unoptimized quorum structure of the 3-node grid.
+
+#include <cstdio>
+
+#include "coterie/grid.h"
+#include "coterie/properties.h"
+
+namespace {
+
+void PrintQuorums(const dcp::coterie::CoterieRule& rule,
+                  const dcp::NodeSet& v, const char* tag) {
+  auto writes = dcp::coterie::EnumerateMinimalQuorums(rule, v, false);
+  std::printf("  minimal write quorums (%s):\n", tag);
+  for (const auto& q : writes) std::printf("    %s\n", q.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using dcp::NodeSet;
+  using dcp::coterie::DefineGrid;
+  using dcp::coterie::GridCoterie;
+  using dcp::coterie::GridDimensions;
+  using dcp::coterie::GridOptions;
+
+  std::printf("Figure 1: the grid for N = 14 (ids 0-based; paper uses "
+              "1-based)\n\n");
+  NodeSet v14 = NodeSet::Universe(14);
+  GridDimensions d14 = DefineGrid(14);
+  std::printf("%s\n", GridCoterie::LayoutString(v14).c_str());
+  std::printf("DefineGrid(14): m = %u, n = %u, b = %u\n\n", d14.rows,
+              d14.cols, d14.unoccupied);
+
+  GridCoterie grid;
+  NodeSet example({0, 5, 2, 6, 10, 3});  // Paper's {1,6,3,7,11,4}.
+  std::printf("Paper example write quorum {1,6,3,7,11,4} -> 0-based %s: %s\n",
+              example.ToString().c_str(),
+              grid.IsWriteQuorum(v14, example) ? "ACCEPTED" : "REJECTED");
+  NodeSet read_part({0, 5, 2, 3});
+  std::printf("Read part {1,6,3,4} -> %s: %s\n\n",
+              read_part.ToString().c_str(),
+              grid.IsReadQuorum(v14, read_part) ? "ACCEPTED" : "REJECTED");
+
+  std::printf("Figure 2: the grid for N = 3\n\n");
+  NodeSet v3 = NodeSet::Universe(3);
+  std::printf("%s\n", GridCoterie::LayoutString(v3).c_str());
+
+  GridOptions unopt;
+  unopt.short_column_optimization = false;
+  GridCoterie grid_unopt(unopt);
+  std::printf("Unoptimized (as in the availability analysis of Section 6 — "
+              "\"all three nodes are needed\"):\n");
+  PrintQuorums(grid_unopt, v3, "unoptimized");
+  std::printf("\nWith the short-column optimization (Section 5 pseudocode / "
+              "Neuman):\n");
+  PrintQuorums(grid, v3, "optimized");
+
+  std::printf("\nQuorum sizes as N grows (read = n cols, write = m + n - 1 "
+              "for full grids):\n");
+  std::printf("%-6s %-8s %-10s %-11s %-10s\n", "N", "grid", "read-size",
+              "write-size", "majority");
+  for (uint32_t n : {4u, 9u, 16u, 25u, 36u, 49u, 64u, 100u}) {
+    NodeSet v = NodeSet::Universe(n);
+    GridDimensions d = DefineGrid(n);
+    auto r = grid.ReadQuorum(v, 0);
+    auto w = grid.WriteQuorum(v, 0);
+    std::printf("%-6u %ux%-6u %-10u %-11u %-10u\n", n, d.rows, d.cols,
+                r->Size(), w->Size(), n / 2 + 1);
+  }
+  return 0;
+}

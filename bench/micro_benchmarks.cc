@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks for the hot paths: quorum predicates,
+// grid construction, node-set algebra, CTMC solves, and simulator event
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/availability.h"
+#include "coterie/grid.h"
+#include "coterie/hierarchical.h"
+#include "coterie/majority.h"
+#include "coterie/tree.h"
+#include "sim/simulator.h"
+#include "util/node_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace dcp;
+
+void BM_DefineGrid(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coterie::DefineGrid(n));
+  }
+}
+BENCHMARK(BM_DefineGrid)->Arg(9)->Arg(100)->Arg(10000);
+
+void BM_GridIsWriteQuorum(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  coterie::GridCoterie grid;
+  NodeSet v = NodeSet::Universe(n);
+  NodeSet q = *grid.WriteQuorum(v, 12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.IsWriteQuorum(v, q));
+  }
+}
+BENCHMARK(BM_GridIsWriteQuorum)->Arg(9)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GridWriteQuorumFunction(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  coterie::GridCoterie grid;
+  NodeSet v = NodeSet::Universe(n);
+  uint64_t sel = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.WriteQuorum(v, sel++));
+  }
+}
+BENCHMARK(BM_GridWriteQuorumFunction)->Arg(9)->Arg(256);
+
+void BM_TreeIsQuorum(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  coterie::TreeCoterie tree;
+  NodeSet v = NodeSet::Universe(n);
+  NodeSet q = *tree.WriteQuorum(v, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.IsWriteQuorum(v, q));
+  }
+}
+BENCHMARK(BM_TreeIsQuorum)->Arg(15)->Arg(255);
+
+void BM_MajorityIsQuorum(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  coterie::MajorityCoterie maj;
+  NodeSet v = NodeSet::Universe(n);
+  NodeSet q = *maj.WriteQuorum(v, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maj.IsWriteQuorum(v, q));
+  }
+}
+BENCHMARK(BM_MajorityIsQuorum)->Arg(9)->Arg(1024);
+
+void BM_NodeSetUnion(benchmark::State& state) {
+  Rng rng(1);
+  NodeSet a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.Insert(static_cast<NodeId>(rng.Uniform(4096)));
+    b.Insert(static_cast<NodeId>(rng.Uniform(4096)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Union(b));
+  }
+}
+BENCHMARK(BM_NodeSetUnion)->Arg(16)->Arg(1024);
+
+void BM_NodeSetOrderedIndex(benchmark::State& state) {
+  NodeSet s = NodeSet::Universe(static_cast<uint32_t>(state.range(0)));
+  NodeId probe = static_cast<NodeId>(state.range(0) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.OrderedIndex(probe));
+  }
+}
+BENCHMARK(BM_NodeSetOrderedIndex)->Arg(64)->Arg(4096);
+
+void BM_DynamicGridChainSolve(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto a = analysis::DynamicGridAvailability(n, 1.0L, 19.0L);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_DynamicGridChainSolve)->Arg(9)->Arg(30)->Arg(60);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 10000;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) sim.Schedule(1.0, chain);
+    };
+    sim.Schedule(1.0, chain);
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_StaticGridClosedForm(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::BestStaticGrid(static_cast<uint32_t>(state.range(0)),
+                                 0.95L));
+  }
+}
+BENCHMARK(BM_StaticGridClosedForm)->Arg(30)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

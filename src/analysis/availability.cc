@@ -1,0 +1,301 @@
+#include "analysis/availability.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <string>
+
+namespace dcp::analysis {
+namespace {
+
+Real PowR(Real base, uint32_t exp) {
+  Real out = 1;
+  for (uint32_t i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+}  // namespace
+
+Real StaticGridWriteAvailability(const coterie::GridDimensions& dims, Real p,
+                                 bool optimized) {
+  Real q = 1 - p;
+  // P(every column covered) and P(every column covered but none complete).
+  // Columns are independent; the unoccupied slots shorten the trailing
+  // columns.
+  Real all_covered = 1;
+  Real covered_none_full = 1;
+  for (uint32_t c = 0; c < dims.cols; ++c) {
+    uint32_t h = dims.ColumnHeight(c);
+    Real covered = 1 - PowR(q, h);
+    bool coverable = optimized || h == dims.rows;
+    Real covered_not_full = coverable ? covered - PowR(p, h) : covered;
+    all_covered *= covered;
+    covered_none_full *= covered_not_full;
+  }
+  return all_covered - covered_none_full;
+}
+
+Real StaticGridReadAvailability(const coterie::GridDimensions& dims, Real p) {
+  Real q = 1 - p;
+  Real all_covered = 1;
+  for (uint32_t c = 0; c < dims.cols; ++c) {
+    all_covered *= 1 - PowR(q, dims.ColumnHeight(c));
+  }
+  return all_covered;
+}
+
+BestGridResult BestStaticGrid(uint32_t n_nodes, Real p) {
+  BestGridResult best;
+  best.write_unavailability = 1;
+  for (uint32_t rows = 1; rows <= n_nodes; ++rows) {
+    if (n_nodes % rows != 0) continue;
+    coterie::GridDimensions dims;
+    dims.rows = rows;
+    dims.cols = n_nodes / rows;
+    dims.unoccupied = 0;
+    Real unavail = 1 - StaticGridWriteAvailability(dims, p, true);
+    if (unavail < best.write_unavailability) {
+      best.write_unavailability = unavail;
+      best.dims = dims;
+    }
+  }
+  return best;
+}
+
+Real MajorityWriteAvailability(uint32_t n_nodes, Real p) {
+  uint32_t majority = n_nodes / 2 + 1;
+  Real q = 1 - p;
+  Real avail = 0;
+  // Sum_{i >= majority} C(N, i) p^i q^(N-i), with running binomials.
+  Real binom = 1;  // C(N, 0)
+  for (uint32_t i = 0; i <= n_nodes; ++i) {
+    if (i >= majority) {
+      avail += binom * PowR(p, i) * PowR(q, n_nodes - i);
+    }
+    binom = binom * static_cast<Real>(n_nodes - i) / static_cast<Real>(i + 1);
+  }
+  return avail;
+}
+
+Real EnumeratedAvailability(const coterie::CoterieRule& rule, uint32_t n_nodes,
+                            Real p, bool read) {
+  assert(n_nodes <= 24);
+  NodeSet v = NodeSet::Universe(n_nodes);
+  Real q = 1 - p;
+  Real avail = 0;
+  for (uint32_t mask = 0; mask < (uint32_t{1} << n_nodes); ++mask) {
+    NodeSet s;
+    for (uint32_t i = 0; i < n_nodes; ++i) {
+      if ((mask >> i) & 1) s.Insert(i);
+    }
+    bool quorum = read ? rule.IsReadQuorum(v, s) : rule.IsWriteQuorum(v, s);
+    if (!quorum) continue;
+    uint32_t up = s.Size();
+    avail += PowR(p, up) * PowR(q, n_nodes - up);
+  }
+  return avail;
+}
+
+DynamicChain BuildDynamicEpochChain(uint32_t n_nodes, Real lambda, Real mu,
+                                    uint32_t critical) {
+  assert(n_nodes >= critical);
+  DynamicChain out;
+  MarkovChain& chain = out.chain;
+
+  // State layout: A_k for k = critical..N, then U_{x,z}.
+  auto a_index = [&](uint32_t k) { return k - critical; };
+  uint32_t num_a = n_nodes - critical + 1;
+  auto u_index = [&](uint32_t x, uint32_t z) {
+    return num_a + x * (n_nodes - critical + 1) + z;
+  };
+
+  for (uint32_t k = critical; k <= n_nodes; ++k) {
+    size_t idx = chain.AddState("A(" + std::to_string(k) + "," +
+                                std::to_string(k) + ",0)");
+    out.available_states.push_back(idx);
+  }
+  for (uint32_t x = 0; x < critical; ++x) {
+    for (uint32_t z = 0; z <= n_nodes - critical; ++z) {
+      chain.AddState("U(" + std::to_string(x) + "," +
+                     std::to_string(critical) + "," + std::to_string(z) + ")");
+    }
+  }
+
+  // Available states: epoch == the k up nodes (epoch checking runs between
+  // any two events, so detected failures/repairs are absorbed instantly).
+  for (uint32_t k = critical; k <= n_nodes; ++k) {
+    if (k < n_nodes) {
+      chain.AddTransition(a_index(k), a_index(k + 1),
+                          (n_nodes - k) * mu);  // Repair joins the epoch.
+    }
+    if (k > critical) {
+      chain.AddTransition(a_index(k), a_index(k - 1),
+                          k * lambda);  // Tolerated failure shrinks it.
+    } else {
+      // A failure in a critical-sized epoch: no quorum of the old epoch
+      // survives, so the epoch is stuck until all members return.
+      chain.AddTransition(a_index(k), u_index(critical - 1, 0), k * lambda);
+    }
+  }
+
+  // Unavailable states: the last epoch has `critical` members, x of them
+  // up; z of the other N-critical nodes are up. Only when all `critical`
+  // members are up simultaneously can a new epoch (absorbing the z
+  // bystanders) form.
+  for (uint32_t x = 0; x < critical; ++x) {
+    for (uint32_t z = 0; z <= n_nodes - critical; ++z) {
+      size_t from = u_index(x, z);
+      if (x > 0) chain.AddTransition(from, u_index(x - 1, z), x * lambda);
+      if (x + 1 < critical) {
+        chain.AddTransition(from, u_index(x + 1, z), (critical - x) * mu);
+      } else {
+        // The last member's repair completes the old epoch; the next epoch
+        // check forms a new epoch of all critical + z up nodes.
+        chain.AddTransition(from, a_index(critical + z), mu);
+      }
+      if (z > 0) chain.AddTransition(from, u_index(x, z - 1), z * lambda);
+      if (z < n_nodes - critical) {
+        chain.AddTransition(from, u_index(x, z + 1),
+                            (n_nodes - critical - z) * mu);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Real> DynamicEpochAvailability(uint32_t n_nodes, Real lambda, Real mu,
+                                      uint32_t critical) {
+  if (n_nodes < critical) {
+    return Status::InvalidArgument("need at least `critical` nodes");
+  }
+  DynamicChain dc = BuildDynamicEpochChain(n_nodes, lambda, mu, critical);
+  Result<std::vector<Real>> pi = dc.chain.StationaryDistribution();
+  if (!pi.ok()) return pi.status();
+  Real avail = 0;
+  for (size_t idx : dc.available_states) avail += (*pi)[idx];
+  return avail;
+}
+
+Result<Real> DynamicGridAvailability(uint32_t n_nodes, Real lambda, Real mu) {
+  return DynamicEpochAvailability(n_nodes, lambda, mu, /*critical=*/3);
+}
+
+Result<Real> DynamicMajorityAvailability(uint32_t n_nodes, Real lambda,
+                                         Real mu) {
+  return DynamicEpochAvailability(n_nodes, lambda, mu, /*critical=*/2);
+}
+
+namespace {
+
+/// Shared event loop for the exact site-model simulations. `on_event` is
+/// called after each failure/repair with the new up-set; it returns the
+/// pair (write available, read available), so the caller can integrate
+/// both availabilities over time.
+template <typename OnEvent>
+SiteModelResult RunSiteModel(uint32_t n_nodes, Real lambda, Real mu,
+                             Real total_time, Rng* rng, OnEvent&& on_event) {
+  SiteModelResult result;
+  std::vector<bool> up(n_nodes, true);
+  uint32_t up_count = n_nodes;
+
+  Real now = 0;
+  Real write_time = 0;
+  Real read_time = 0;
+  bool write_avail = true;
+  bool read_avail = true;
+
+  while (now < total_time) {
+    // Competing exponentials: next event time and identity.
+    Real fail_rate = static_cast<Real>(up_count) * lambda;
+    Real repair_rate = static_cast<Real>(n_nodes - up_count) * mu;
+    Real total_rate = fail_rate + repair_rate;
+    Real dt = static_cast<Real>(
+        rng->Exponential(static_cast<double>(total_rate)));
+    Real step_end = std::min(now + dt, total_time);
+    if (write_avail) write_time += step_end - now;
+    if (read_avail) read_time += step_end - now;
+    now = step_end;
+    if (now >= total_time) break;
+
+    bool is_failure =
+        rng->NextDouble() < static_cast<double>(fail_rate / total_rate);
+    // Pick a uniform victim among up (failure) or down (repair) nodes.
+    uint32_t pool = is_failure ? up_count : n_nodes - up_count;
+    uint32_t pick = static_cast<uint32_t>(rng->Uniform(pool));
+    uint32_t chosen = 0;
+    for (uint32_t i = 0; i < n_nodes; ++i) {
+      if (up[i] == is_failure) {
+        if (pick == 0) {
+          chosen = i;
+          break;
+        }
+        --pick;
+      }
+    }
+    up[chosen] = !is_failure;
+    up_count += is_failure ? -1 : 1;
+    if (is_failure) {
+      ++result.failures;
+    } else {
+      ++result.repairs;
+    }
+
+    bool was_write_avail = write_avail;
+    std::pair<bool, bool> avail = on_event(up, &result);
+    write_avail = avail.first;
+    read_avail = avail.second;
+    if (was_write_avail && !write_avail) ++result.stuck_periods;
+  }
+  result.availability = write_time / total_time;
+  result.read_availability = read_time / total_time;
+  return result;
+}
+
+NodeSet UpSet(const std::vector<bool>& up) {
+  NodeSet s;
+  for (uint32_t i = 0; i < up.size(); ++i) {
+    if (up[i]) s.Insert(i);
+  }
+  return s;
+}
+
+}  // namespace
+
+SiteModelResult SimulateDynamicSiteModel(const coterie::CoterieRule& rule,
+                                         uint32_t n_nodes, Real lambda,
+                                         Real mu, Real total_time, Rng* rng) {
+  // Epoch checking runs after every event (site-model assumption 4): form
+  // a new epoch = the current up-set whenever the up-set still includes a
+  // write quorum of the previous epoch. The object is write-available iff
+  // the up-set includes a write quorum over the current epoch (since the
+  // epoch tracks the up-set whenever it can change, this means epoch ==
+  // up-set, but after a critical failure the epoch freezes).
+  NodeSet epoch = NodeSet::Universe(n_nodes);
+  return RunSiteModel(
+      n_nodes, lambda, mu, total_time, rng,
+      [&rule, &epoch](const std::vector<bool>& up, SiteModelResult* result) {
+        NodeSet up_set = UpSet(up);
+        if (rule.IsWriteQuorum(epoch, up_set) && up_set != epoch) {
+          epoch = up_set;
+          ++result->epoch_changes;
+        }
+        NodeSet live = up_set.Intersection(epoch);
+        return std::make_pair(rule.IsWriteQuorum(epoch, live),
+                              rule.IsReadQuorum(epoch, live));
+      });
+}
+
+SiteModelResult SimulateStaticSiteModel(const coterie::CoterieRule& rule,
+                                        uint32_t n_nodes, Real lambda, Real mu,
+                                        Real total_time, Rng* rng) {
+  NodeSet all = NodeSet::Universe(n_nodes);
+  return RunSiteModel(
+      n_nodes, lambda, mu, total_time, rng,
+      [&rule, &all](const std::vector<bool>& up, SiteModelResult*) {
+        NodeSet up_set = UpSet(up);
+        return std::make_pair(rule.IsWriteQuorum(all, up_set),
+                              rule.IsReadQuorum(all, up_set));
+      });
+}
+
+}  // namespace dcp::analysis

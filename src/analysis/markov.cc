@@ -1,0 +1,56 @@
+#include "analysis/markov.h"
+
+#include <utility>
+
+namespace dcp::analysis {
+
+size_t MarkovChain::AddState(std::string label) {
+  labels_.push_back(std::move(label));
+  out_.emplace_back();
+  return labels_.size() - 1;
+}
+
+void MarkovChain::AddTransition(size_t from, size_t to, Real rate) {
+  if (from == to || rate == Real{0}) return;
+  for (auto& [target, r] : out_[from]) {
+    if (target == to) {
+      r += rate;
+      return;
+    }
+  }
+  out_[from].emplace_back(to, rate);
+}
+
+Real MarkovChain::ExitRate(size_t i) const {
+  Real total = 0;
+  for (const auto& [target, rate] : out_[i]) total += rate;
+  return total;
+}
+
+Result<std::vector<Real>> MarkovChain::StationaryDistribution() const {
+  const size_t n = NumStates();
+  if (n == 0) return Status::InvalidArgument("empty chain");
+
+  // Generator Q: Q[i][j] = rate(i->j), Q[i][i] = -exit(i).
+  // Global balance: pi Q = 0  <=>  Q^T pi^T = 0. Replace the last
+  // (redundant) equation with the normalization sum(pi) = 1.
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    // Column i of Q^T is row i of Q. Rows destined to be overwritten by
+    // the normalization equation are skipped.
+    for (const auto& [j, rate] : out_[i]) {
+      if (j != n - 1) a.At(j, i) += rate;
+    }
+    if (i != n - 1) a.At(i, i) -= ExitRate(i);
+  }
+  for (size_t i = 0; i < n; ++i) a.At(n - 1, i) = Real{1};
+
+  std::vector<Real> b(n, Real{0});
+  b[n - 1] = Real{1};
+
+  Result<std::vector<Real>> solved = SolveLinearSystem(a, b);
+  if (!solved.ok()) return solved.status();
+  return solved;
+}
+
+}  // namespace dcp::analysis

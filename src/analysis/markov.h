@@ -1,0 +1,56 @@
+#ifndef DCP_ANALYSIS_MARKOV_H_
+#define DCP_ANALYSIS_MARKOV_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/result.h"
+
+namespace dcp::analysis {
+
+/// A finite continuous-time Markov chain, solved for its stationary
+/// distribution by the classical global-balance technique the paper uses
+/// in Section 6 ("We use the classical global balance technique ... to
+/// solve the diagram").
+///
+/// States are added with labels (useful for dumping Figure 3); transitions
+/// carry exponential rates. `StationaryDistribution` solves pi Q = 0,
+/// sum(pi) = 1 with extended-precision LU — Table 1 needs results near
+/// 1e-14, see util/matrix.h.
+class MarkovChain {
+ public:
+  MarkovChain() = default;
+
+  /// Adds a state; returns its index.
+  size_t AddState(std::string label);
+
+  /// Adds (accumulates) a transition `from -> to` with the given rate.
+  /// Self-loops are ignored (they do not affect the stationary law).
+  void AddTransition(size_t from, size_t to, Real rate);
+
+  size_t NumStates() const { return labels_.size(); }
+  const std::string& Label(size_t i) const { return labels_[i]; }
+
+  /// Total outgoing rate of state i.
+  Real ExitRate(size_t i) const;
+
+  /// The transitions out of state i as (target, rate) pairs.
+  const std::vector<std::pair<size_t, Real>>& Transitions(size_t i) const {
+    return out_[i];
+  }
+
+  /// Stationary distribution; fails if the chain is empty or the balance
+  /// system is singular beyond the one redundant equation (e.g. the chain
+  /// is not irreducible).
+  Result<std::vector<Real>> StationaryDistribution() const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::vector<std::pair<size_t, Real>>> out_;
+};
+
+}  // namespace dcp::analysis
+
+#endif  // DCP_ANALYSIS_MARKOV_H_

@@ -1,0 +1,356 @@
+#include "baseline/accessible_copies.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "net/rpc.h"
+#include "protocol/messages.h"
+#include "protocol/two_phase.h"
+
+namespace dcp::baseline {
+namespace {
+
+using protocol::EpochPollRequest;
+using protocol::EpochPollResponse;
+using protocol::LockMode;
+using protocol::LockOwner;
+using protocol::LockRequest;
+using protocol::LockResponse;
+using protocol::ObjectAction;
+using protocol::ReplicaNode;
+using protocol::ReplicaStateTuple;
+using protocol::StagedAction;
+using protocol::TwoPhaseCommit;
+using protocol::UnlockRequest;
+using protocol::Version;
+
+void ReleaseAll(ReplicaNode* node, const LockOwner& owner,
+                const NodeSet& targets, std::function<void()> after) {
+  auto unlock = std::make_shared<UnlockRequest>();
+  unlock->owner = owner;
+  net::MulticastGather(&node->rpc(), targets, protocol::msg::kUnlock, unlock,
+                       [after = std::move(after)](net::GatherResult) {
+                         after();
+                       });
+}
+
+// ---------------------------------------------------------------------------
+// Write: all members of the current view.
+// ---------------------------------------------------------------------------
+
+class AcWriteOp : public std::enable_shared_from_this<AcWriteOp> {
+ public:
+  AcWriteOp(ReplicaNode* node, protocol::Update update,
+            protocol::WriteDone done)
+      : node_(node), update_(std::move(update)), done_(std::move(done)) {
+    owner_.coordinator = node_->self();
+    owner_.operation_id = node_->NextOperationId();
+  }
+
+  void Start() {
+    // The coordinator must itself believe it is in the view (an evicted
+    // node has no business writing).
+    view_ = node_->epoch().list;
+    view_id_ = node_->epoch().number;
+    if (!view_.Contains(node_->self())) {
+      done_(Status::Unavailable("coordinator not in the current view"));
+      return;
+    }
+    auto req = std::make_shared<LockRequest>();
+    req->owner = owner_;
+    req->mode = LockMode::kExclusive;
+    auto self = shared_from_this();
+    net::MulticastGather(
+        &node_->rpc(), view_, protocol::msg::kLock, req,
+        [self](net::GatherResult g) {
+          bool conflict = false;
+          for (auto& [n, r] : g.replies) {
+            if (r.ok()) {
+              self->held_[n] = net::As<LockResponse>(r.response).state;
+            } else if (!r.call_failed()) {
+              conflict = true;
+            }
+          }
+          // Write-all discipline: EVERY view member must answer, with
+          // the same view installed.
+          if (self->held_.size() != self->view_.Size()) {
+            self->Fail(conflict ? Status::Conflict("view member busy")
+                                : Status::Unavailable(
+                                      "view member unreachable; run a view "
+                                      "change"));
+            return;
+          }
+          for (const auto& [n, t] : self->held_) {
+            if (t.enumber != self->view_id_) {
+              self->Fail(Status::Aborted("view changed during the write"));
+              return;
+            }
+          }
+          self->Commit();
+        });
+  }
+
+ private:
+  void Commit() {
+    // All view members are current (write-all keeps them so; view
+    // formation reconciled them), so a partial update applies cleanly.
+    Version max_version = 0;
+    for (const auto& [n, t] : held_) {
+      max_version = std::max(max_version, t.version);
+    }
+    std::map<NodeId, StagedAction> actions;
+    for (const auto& [n, t] : held_) {
+      ObjectAction obj;
+      obj.apply_update = true;
+      obj.update = update_;
+      obj.update_target_version = max_version + 1;
+      StagedAction act;
+      act.objects.push_back(std::move(obj));
+      actions[n] = std::move(act);
+    }
+    Version new_version = max_version + 1;
+    auto self = shared_from_this();
+    TwoPhaseCommit::Run(node_, owner_, std::move(actions), nullptr,
+                        [self, new_version](Status s) {
+                          if (s.ok()) {
+                            self->done_(protocol::WriteOutcome{new_version});
+                          } else {
+                            self->done_(s);
+                          }
+                        });
+  }
+
+  void Fail(Status status) {
+    NodeSet held;
+    for (const auto& [n, t] : held_) held.Insert(n);
+    auto self = shared_from_this();
+    ReleaseAll(node_, owner_, held, [self, status] { self->done_(status); });
+  }
+
+  ReplicaNode* node_;
+  protocol::Update update_;
+  protocol::WriteDone done_;
+  LockOwner owner_;
+  NodeSet view_;
+  storage::EpochNumber view_id_ = 0;
+  std::map<NodeId, ReplicaStateTuple> held_;
+};
+
+// ---------------------------------------------------------------------------
+// Read: one member of the view.
+// ---------------------------------------------------------------------------
+
+class AcReadOp : public std::enable_shared_from_this<AcReadOp> {
+ public:
+  AcReadOp(ReplicaNode* node, protocol::ReadDone done)
+      : node_(node), done_(std::move(done)) {
+    owner_.coordinator = node_->self();
+    owner_.operation_id = node_->NextOperationId();
+  }
+
+  void Start() {
+    NodeSet view = node_->epoch().list;
+    if (!view.Contains(node_->self())) {
+      done_(Status::Unavailable("coordinator not in the current view"));
+      return;
+    }
+    // Read-one, rotated for load sharing.
+    target_ = view.NthMember(static_cast<uint32_t>(
+        (owner_.operation_id * 0x9E3779B97F4A7C15ULL) % view.Size()));
+    view_id_ = node_->epoch().number;
+    auto req = std::make_shared<LockRequest>();
+    req->owner = owner_;
+    req->mode = LockMode::kShared;
+    auto self = shared_from_this();
+    node_->rpc().Call(
+        target_, protocol::msg::kLock, req, [self](net::RpcResult r) {
+          if (!r.ok()) {
+            self->done_(r.call_failed() ? r.transport : r.app);
+            return;
+          }
+          const auto& state = net::As<LockResponse>(r.response).state;
+          if (state.enumber != self->view_id_) {
+            self->Fail(Status::Aborted("view changed during the read"));
+            return;
+          }
+          self->Fetch();
+        });
+  }
+
+ private:
+  void Fetch() {
+    auto req = std::make_shared<protocol::FetchRequest>();
+    req->owner = owner_;
+    auto self = shared_from_this();
+    node_->rpc().Call(
+        target_, protocol::msg::kFetch, req, [self](net::RpcResult r) {
+          if (!r.ok()) {
+            self->Fail(r.call_failed() ? r.transport : r.app);
+            return;
+          }
+          const auto& resp = net::As<protocol::FetchResponse>(r.response);
+          protocol::ReadOutcome out;
+          out.version = resp.version;
+          out.data = resp.data;
+          ReleaseAll(self->node_, self->owner_, NodeSet({self->target_}),
+                     [self, out = std::move(out)] { self->done_(out); });
+        });
+  }
+
+  void Fail(Status status) {
+    auto self = shared_from_this();
+    ReleaseAll(node_, owner_, NodeSet({target_}),
+               [self, status] { self->done_(status); });
+  }
+
+  ReplicaNode* node_;
+  protocol::ReadDone done_;
+  LockOwner owner_;
+  NodeId target_ = kInvalidNode;
+  storage::EpochNumber view_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// View change.
+// ---------------------------------------------------------------------------
+
+class ViewChangeOp : public std::enable_shared_from_this<ViewChangeOp> {
+ public:
+  ViewChangeOp(ReplicaNode* node, protocol::EpochCheckDone done)
+      : node_(node), done_(std::move(done)) {
+    owner_.coordinator = node_->self();
+    owner_.operation_id = node_->NextOperationId();
+  }
+
+  void Start() {
+    auto self = shared_from_this();
+    net::MulticastGather(
+        &node_->rpc(), node_->all_nodes(), protocol::msg::kEpochPoll,
+        net::MakePayload<EpochPollRequest>(), [self](net::GatherResult g) {
+          std::map<NodeId, EpochPollResponse> responded;
+          for (auto& [n, r] : g.replies) {
+            if (r.ok()) responded[n] = net::As<EpochPollResponse>(r.response);
+          }
+          self->Evaluate(std::move(responded));
+        });
+  }
+
+ private:
+  void Evaluate(std::map<NodeId, EpochPollResponse> responded) {
+    uint32_t threshold = AccessibilityThreshold(node_->all_nodes().Size());
+    if (responded.size() < threshold) {
+      done_(Status::Unavailable(
+          "only " + std::to_string(responded.size()) +
+          " replicas accessible; threshold is " + std::to_string(threshold)));
+      return;
+    }
+    NodeSet new_view;
+    storage::EpochNumber max_view = 0;
+    Version max_version = 0;
+    NodeId freshest = kInvalidNode;
+    for (const auto& [n, resp] : responded) {
+      new_view.Insert(n);
+      max_view = std::max(max_view, resp.enumber);
+      for (const auto& t : resp.objects) {
+        if (t.object == 0 && (freshest == kInvalidNode ||
+                              t.version > max_version)) {
+          max_version = t.version;
+          freshest = n;
+        }
+      }
+    }
+    if (new_view == node_->epoch().list &&
+        max_view == node_->epoch().number) {
+      done_(Status::OK());  // Nothing changed.
+      return;
+    }
+    // Synchronous reconciliation: fetch the freshest contents so the new
+    // view starts uniform (the cost the paper's asynchronous propagation
+    // avoids paying on the critical path).
+    auto lock_req = std::make_shared<LockRequest>();
+    lock_req->owner = owner_;
+    lock_req->mode = LockMode::kShared;
+    auto self = shared_from_this();
+    node_->rpc().Call(
+        freshest, protocol::msg::kLock, lock_req,
+        [self, freshest, max_view, max_version,
+         new_view](net::RpcResult r) {
+          if (!r.ok()) {
+            self->done_(Status::Unavailable("freshest replica vanished"));
+            return;
+          }
+          auto fetch = std::make_shared<protocol::FetchRequest>();
+          fetch->owner = self->owner_;
+          self->node_->rpc().Call(
+              freshest, protocol::msg::kFetch, fetch,
+              [self, freshest, max_view, max_version,
+               new_view](net::RpcResult rr) {
+                NodeSet to_unlock({freshest});
+                if (!rr.ok()) {
+                  ReleaseAll(self->node_, self->owner_, to_unlock, [self] {
+                    self->done_(
+                        Status::Unavailable("reconciliation fetch failed"));
+                  });
+                  return;
+                }
+                auto data = net::As<protocol::FetchResponse>(rr.response);
+                ReleaseAll(self->node_, self->owner_, to_unlock,
+                           [self, max_view, max_version, new_view,
+                            data = std::move(data)] {
+                             self->Install(new_view, max_view + 1,
+                                           max_version, data.data);
+                           });
+              });
+        });
+  }
+
+  void Install(const NodeSet& new_view, storage::EpochNumber view_id,
+               Version version, const std::vector<uint8_t>& contents) {
+    std::map<NodeId, StagedAction> actions;
+    for (NodeId member : new_view) {
+      StagedAction act;
+      act.install_epoch = true;
+      act.epoch_number = view_id;
+      act.epoch_list = new_view;
+      ObjectAction obj;
+      obj.install_snapshot = true;  // No-op for already-current members.
+      obj.snapshot_version = version;
+      obj.snapshot = protocol::Update::Total(contents);
+      act.objects.push_back(std::move(obj));
+      actions[member] = std::move(act);
+    }
+    auto self = shared_from_this();
+    TwoPhaseCommit::Run(node_, owner_, std::move(actions), nullptr,
+                        [self](Status s) { self->done_(s); });
+  }
+
+  ReplicaNode* node_;
+  protocol::EpochCheckDone done_;
+  LockOwner owner_;
+};
+
+}  // namespace
+
+uint32_t AccessibilityThreshold(uint32_t n_nodes) { return n_nodes / 2 + 1; }
+
+void StartAccessibleWrite(protocol::ReplicaNode* node,
+                          protocol::Update update, protocol::WriteDone done) {
+  auto op =
+      std::make_shared<AcWriteOp>(node, std::move(update), std::move(done));
+  op->Start();
+}
+
+void StartAccessibleRead(protocol::ReplicaNode* node,
+                         protocol::ReadDone done) {
+  auto op = std::make_shared<AcReadOp>(node, std::move(done));
+  op->Start();
+}
+
+void StartViewChange(protocol::ReplicaNode* node,
+                     protocol::EpochCheckDone done) {
+  auto op = std::make_shared<ViewChangeOp>(node, std::move(done));
+  op->Start();
+}
+
+}  // namespace dcp::baseline

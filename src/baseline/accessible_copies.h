@@ -1,0 +1,64 @@
+#ifndef DCP_BASELINE_ACCESSIBLE_COPIES_H_
+#define DCP_BASELINE_ACCESSIBLE_COPIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/operations.h"
+#include "protocol/replica_node.h"
+
+namespace dcp::baseline {
+
+/// The accessible copies protocol (El Abbadi, Skeen & Cristian [4],
+/// generalized by El Abbadi & Toueg [5]) — the other dynamic baseline the
+/// paper's Related Work contrasts against:
+///
+///   - replicas carry a *view* (id + member set), stored here in the
+///     shared EpochRecord;
+///   - views are formed from whatever nodes are accessible, REGARDLESS
+///     of membership in earlier views; uniqueness of the updatable view
+///     comes from the *accessibility threshold* A > N/2: at most one
+///     partition can assemble A nodes ("one can infer that at least a
+///     quarter of the total number of replicas need be operational and
+///     connected for the data object to be available for update" — the
+///     limitation Section 2 highlights, vs. the epoch protocol which can
+///     shrink without a floor);
+///   - within a view the discipline is read-one / write-all-in-view:
+///     writes (which may be partial!) update every view member, reads
+///     fetch from any single member.
+///
+/// View formation synchronously reconciles out-of-date members (the
+/// "synchronous reconciliation" cost the paper's asynchronous
+/// propagation avoids).
+///
+/// Caveat (documented deviation): in [4, 5] the read-one discipline is
+/// protected by transaction certification at commit time. Our reads
+/// validate only that the serving replica's view id is current at that
+/// replica; a replica partitioned away from a newer view could serve a
+/// stale read. The tests therefore exercise this baseline under crash
+/// faults (where evicted replicas are down, and the window cannot
+/// arise), matching the site model of the paper's comparison.
+
+/// Default accessibility threshold: floor(N/2) + 1.
+uint32_t AccessibilityThreshold(uint32_t n_nodes);
+
+/// Write through the accessible copies protocol: requires every member
+/// of the coordinator's current view to accept; fails with kUnavailable
+/// if any is unreachable (run a view change and retry).
+void StartAccessibleWrite(protocol::ReplicaNode* node,
+                          protocol::Update update, protocol::WriteDone done);
+
+/// Read-one: fetch from a single member of the coordinator's view.
+void StartAccessibleRead(protocol::ReplicaNode* node,
+                         protocol::ReadDone done);
+
+/// View change: polls all nodes; if at least AccessibilityThreshold(N)
+/// respond, installs them as the new view (synchronously bringing every
+/// member up to the maximum version via snapshot transfer); otherwise
+/// fails with kUnavailable.
+void StartViewChange(protocol::ReplicaNode* node,
+                     protocol::EpochCheckDone done);
+
+}  // namespace dcp::baseline
+
+#endif  // DCP_BASELINE_ACCESSIBLE_COPIES_H_

@@ -1,0 +1,215 @@
+#include "baseline/dynamic_voting.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "net/rpc.h"
+#include "protocol/messages.h"
+#include "protocol/two_phase.h"
+
+namespace dcp::baseline {
+namespace {
+
+using protocol::LockMode;
+using protocol::LockOwner;
+using protocol::LockRequest;
+using protocol::LockResponse;
+using protocol::ReplicaNode;
+using protocol::ReplicaStateTuple;
+using protocol::StagedAction;
+using protocol::TwoPhaseCommit;
+using protocol::Version;
+
+void ReleaseAll(ReplicaNode* node, const LockOwner& owner,
+                const std::map<NodeId, ReplicaStateTuple>& held,
+                std::function<void()> after) {
+  NodeSet targets;
+  for (const auto& [n, t] : held) targets.Insert(n);
+  auto unlock = std::make_shared<protocol::UnlockRequest>();
+  unlock->owner = owner;
+  net::MulticastGather(&node->rpc(), targets, protocol::msg::kUnlock, unlock,
+                       [after = std::move(after)](net::GatherResult) {
+                         after();
+                       });
+}
+
+/// The majority-of-update-sites test shared by reads and writes.
+/// On success fills the outputs; on failure returns the reason.
+Status EvaluateDistinguishedPartition(
+    const std::map<NodeId, ReplicaStateTuple>& held, Version* max_version,
+    NodeSet* update_sites) {
+  if (held.empty()) return Status::Unavailable("no replica reachable");
+  Version m = 0;
+  const ReplicaStateTuple* max_tuple = nullptr;
+  for (const auto& [n, t] : held) {
+    if (max_tuple == nullptr || t.version > m) {
+      m = t.version;
+      max_tuple = &t;
+    }
+  }
+  NodeSet us = max_tuple->elist;  // Update-sites list of the last write.
+  uint32_t sc = us.Size();
+  uint32_t current_accessible = 0;
+  for (const auto& [n, t] : held) {
+    if (t.version == m && us.Contains(n)) ++current_accessible;
+  }
+  if (current_accessible < sc / 2 + 1) {
+    return Status::Unavailable(
+        "accessible current replicas are not a majority of the last "
+        "update-sites group");
+  }
+  *max_version = m;
+  *update_sites = std::move(us);
+  return Status::OK();
+}
+
+class DvOp : public std::enable_shared_from_this<DvOp> {
+ public:
+  DvOp(ReplicaNode* node, bool is_write, std::vector<uint8_t> value,
+       protocol::WriteDone wdone, protocol::ReadDone rdone)
+      : node_(node),
+        is_write_(is_write),
+        value_(std::move(value)),
+        wdone_(std::move(wdone)),
+        rdone_(std::move(rdone)) {
+    owner_.coordinator = node_->self();
+    owner_.operation_id = node_->NextOperationId();
+  }
+
+  void Start() {
+    // Dynamic voting polls (and locks) every replica, failures included.
+    auto req = std::make_shared<LockRequest>();
+    req->owner = owner_;
+    req->mode = is_write_ ? LockMode::kExclusive : LockMode::kShared;
+    auto self = shared_from_this();
+    net::MulticastGather(
+        &node_->rpc(), node_->all_nodes(), protocol::msg::kLock, req,
+        [self](net::GatherResult g) {
+          bool conflict = false;
+          for (auto& [n, r] : g.replies) {
+            if (r.ok()) {
+              self->held_[n] = net::As<LockResponse>(r.response).state;
+            } else if (!r.call_failed()) {
+              conflict = true;
+            }
+          }
+          if (conflict) {
+            self->Fail(Status::Conflict("lock conflict during poll"));
+            return;
+          }
+          self->Evaluate();
+        });
+  }
+
+ private:
+  void Evaluate() {
+    Version max_version = 0;
+    NodeSet update_sites;
+    Status s = EvaluateDistinguishedPartition(held_, &max_version,
+                                              &update_sites);
+    if (!s.ok()) {
+      Fail(s);
+      return;
+    }
+    if (is_write_) {
+      CommitWrite(max_version);
+    } else {
+      Fetch(max_version);
+    }
+  }
+
+  void CommitWrite(Version max_version) {
+    Version new_version = max_version + 1;
+    NodeSet respondents;
+    for (const auto& [n, t] : held_) respondents.Insert(n);
+
+    std::map<NodeId, StagedAction> actions;
+    for (const auto& [n, t] : held_) {
+      protocol::ObjectAction obj;
+      obj.install_snapshot = true;  // Total write to every respondent.
+      obj.snapshot_version = new_version;
+      obj.snapshot = protocol::Update::Total(value_);
+      StagedAction act;
+      act.objects.push_back(std::move(obj));
+      act.install_epoch = true;  // New update-sites list = respondents.
+      act.epoch_number = new_version;
+      act.epoch_list = respondents;
+      actions[n] = std::move(act);
+    }
+    auto self = shared_from_this();
+    TwoPhaseCommit::Run(node_, owner_, std::move(actions), nullptr,
+                        [self, new_version](Status s) {
+                          if (s.ok()) {
+                            self->wdone_(protocol::WriteOutcome{new_version});
+                          } else {
+                            self->wdone_(s);
+                          }
+                        });
+  }
+
+  void Fetch(Version max_version) {
+    NodeId best = kInvalidNode;
+    for (const auto& [n, t] : held_) {
+      if (t.version == max_version) {
+        best = n;
+        break;
+      }
+    }
+    auto req = std::make_shared<protocol::FetchRequest>();
+    req->owner = owner_;
+    auto self = shared_from_this();
+    node_->rpc().Call(
+        best, protocol::msg::kFetch, req, [self](net::RpcResult r) {
+          if (!r.ok()) {
+            self->Fail(r.call_failed() ? r.transport : r.app);
+            return;
+          }
+          const auto& resp = net::As<protocol::FetchResponse>(r.response);
+          protocol::ReadOutcome out;
+          out.version = resp.version;
+          out.data = resp.data;
+          ReleaseAll(self->node_, self->owner_, self->held_,
+                     [self, out = std::move(out)] { self->rdone_(out); });
+        });
+  }
+
+  void Fail(Status status) {
+    auto self = shared_from_this();
+    ReleaseAll(node_, owner_, held_, [self, status] {
+      if (self->is_write_) {
+        self->wdone_(status);
+      } else {
+        self->rdone_(status);
+      }
+    });
+  }
+
+  ReplicaNode* node_;
+  bool is_write_;
+  std::vector<uint8_t> value_;
+  protocol::WriteDone wdone_;
+  protocol::ReadDone rdone_;
+  LockOwner owner_;
+  std::map<NodeId, ReplicaStateTuple> held_;
+};
+
+}  // namespace
+
+void StartDynamicVotingWrite(protocol::ReplicaNode* node,
+                             std::vector<uint8_t> value,
+                             protocol::WriteDone done) {
+  auto op = std::make_shared<DvOp>(node, /*is_write=*/true, std::move(value),
+                                   std::move(done), protocol::ReadDone{});
+  op->Start();
+}
+
+void StartDynamicVotingRead(protocol::ReplicaNode* node,
+                            protocol::ReadDone done) {
+  auto op = std::make_shared<DvOp>(node, /*is_write=*/false,
+                                   std::vector<uint8_t>{},
+                                   protocol::WriteDone{}, std::move(done));
+  op->Start();
+}
+
+}  // namespace dcp::baseline

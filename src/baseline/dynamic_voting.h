@@ -1,0 +1,41 @@
+#ifndef DCP_BASELINE_DYNAMIC_VOTING_H_
+#define DCP_BASELINE_DYNAMIC_VOTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/operations.h"
+#include "protocol/replica_node.h"
+
+namespace dcp::baseline {
+
+/// The dynamic voting protocol of Jajodia & Mutchler [9], the dynamic
+/// baseline the paper positions itself against (Section 2).
+///
+/// Per-replica state maps onto the shared ReplicaNode substrate as:
+///   - version number VN      -> the object's version;
+///   - update-sites list/SC   -> the epoch list (JM keep only the
+///     cardinality; keeping the list is the strictly-more-informed
+///     variant, and is what the paper's epochs generalize);
+///
+/// A write contacts *all* replicas (this is the inefficiency the paper
+/// calls out: "in [9], in the absence of failures, all replicas of the
+/// data item must be contacted"), determines the max version M and the
+/// update-sites list US of a max-version respondent, and succeeds iff the
+/// respondents holding VN == M form a majority of US. It then installs
+/// the new value (total write, VN = M+1) on every respondent and sets
+/// their update-sites list to the respondent set — the "distinguished
+/// partition" adjustment that lets availability survive shrinking
+/// partitions.
+void StartDynamicVotingWrite(protocol::ReplicaNode* node,
+                             std::vector<uint8_t> value,
+                             protocol::WriteDone done);
+
+/// Dynamic-voting read: same poll + majority test, then fetches from a
+/// max-version respondent. (No state change.)
+void StartDynamicVotingRead(protocol::ReplicaNode* node,
+                            protocol::ReadDone done);
+
+}  // namespace dcp::baseline
+
+#endif  // DCP_BASELINE_DYNAMIC_VOTING_H_

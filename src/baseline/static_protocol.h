@@ -1,0 +1,37 @@
+#ifndef DCP_BASELINE_STATIC_PROTOCOL_H_
+#define DCP_BASELINE_STATIC_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/operations.h"
+#include "protocol/replica_node.h"
+
+namespace dcp::baseline {
+
+/// The *static* structured-coterie protocols the paper compares against
+/// (grid protocol of Cheung, Ammar & Ahamad [3]; Gifford voting [6] when
+/// instantiated with a majority coterie). Quorums are always computed
+/// over the full, fixed replica set; there are no epochs, no stale
+/// marking, and writes are *total* — each write ships the complete new
+/// value, installed with version max+1 at every quorum member. This is
+/// exactly the regime of Section 6's comparison ("like the static grid
+/// protocol in [3], our protocol is to support total writes only" is the
+/// dynamic side; this is the static side).
+///
+/// Availability behaviour: if the coordinator cannot lock a full write
+/// (read) quorum over the whole node set, the operation fails with
+/// kUnavailable — a static protocol cannot adapt.
+
+/// Writes `value` as a total update through the static protocol running
+/// on `node`'s coterie rule. Reports the version it installed.
+void StartStaticWrite(protocol::ReplicaNode* node, std::vector<uint8_t> value,
+                      protocol::WriteDone done);
+
+/// Reads through the static protocol: shared-locks a read quorum over the
+/// full node set, returns the highest-version replica's data.
+void StartStaticRead(protocol::ReplicaNode* node, protocol::ReadDone done);
+
+}  // namespace dcp::baseline
+
+#endif  // DCP_BASELINE_STATIC_PROTOCOL_H_

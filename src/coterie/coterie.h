@@ -1,0 +1,52 @@
+#ifndef DCP_COTERIE_COTERIE_H_
+#define DCP_COTERIE_COTERIE_H_
+
+#include <string>
+
+#include "util/node_set.h"
+#include "util/result.h"
+
+namespace dcp::coterie {
+
+/// The *coterie rule* of Section 4: a deterministic rule that, given an
+/// arbitrary **ordered** set of nodes V, defines a coterie (read and write
+/// quorum families) over V. All nodes agree on the rule, so any node can
+/// reconstruct the logical structure of the current epoch from the epoch
+/// list alone — this is what makes structured coterie protocols dynamic.
+///
+/// Required properties (Section 3):
+///   - any two write quorums over the same V intersect;
+///   - any read quorum and any write quorum over the same V intersect.
+///
+/// `IsReadQuorum` / `IsWriteQuorum` are the membership predicates
+/// (coterie-rule(V, S) in the paper): true iff S *includes* a quorum over
+/// V. They are monotone in S. `ReadQuorum` / `WriteQuorum` are the *quorum
+/// function*: a concrete quorum over V, parameterized by a selector
+/// (typically derived from the coordinator's node name) so that different
+/// coordinators get different quorums — better load sharing.
+class CoterieRule {
+ public:
+  virtual ~CoterieRule() = default;
+
+  /// Short identifier, e.g. "grid" or "majority".
+  virtual std::string Name() const = 0;
+
+  /// True iff S (assumed a subset of V) includes a read quorum over V.
+  virtual bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const = 0;
+
+  /// True iff S includes a write quorum over V.
+  virtual bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const = 0;
+
+  /// A concrete read quorum over V. Fails (kInvalidArgument) only if V is
+  /// empty.
+  virtual Result<NodeSet> ReadQuorum(const NodeSet& v,
+                                     uint64_t selector) const = 0;
+
+  /// A concrete write quorum over V.
+  virtual Result<NodeSet> WriteQuorum(const NodeSet& v,
+                                      uint64_t selector) const = 0;
+};
+
+}  // namespace dcp::coterie
+
+#endif  // DCP_COTERIE_COTERIE_H_

@@ -1,0 +1,178 @@
+#include "coterie/grid.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace dcp::coterie {
+
+GridDimensions DefineGrid(uint32_t n_nodes) {
+  assert(n_nodes >= 1);
+  auto root = static_cast<uint32_t>(std::floor(std::sqrt(double{1} * n_nodes)));
+  // Guard against floating-point drift on perfect squares.
+  while ((root + 1) * (root + 1) <= n_nodes) ++root;
+  while (root * root > n_nodes) --root;
+
+  GridDimensions dims;
+  dims.rows = root;                                      // m = floor(sqrt N)
+  dims.cols = (root * root == n_nodes) ? root : root + 1;  // n = ceil(sqrt N)
+  if (dims.rows * dims.cols < n_nodes) ++dims.rows;
+  dims.unoccupied = dims.rows * dims.cols - n_nodes;
+  assert(dims.unoccupied < dims.cols);
+  return dims;
+}
+
+GridDimensions DefineGridColumnSafe(uint32_t n_nodes) {
+  GridDimensions dims = DefineGrid(n_nodes);
+  // A short column has height rows - 1; it is a single point of failure
+  // when that is 1. Fold columns until the minimum height reaches 2 (or
+  // only one column remains).
+  while (dims.unoccupied > 0 && dims.rows - 1 < 2 && dims.cols > 1) {
+    --dims.cols;
+    dims.rows = (n_nodes + dims.cols - 1) / dims.cols;
+    dims.unoccupied = dims.rows * dims.cols - n_nodes;
+  }
+  assert(dims.unoccupied < dims.cols);
+  return dims;
+}
+
+GridDimensions GridCoterie::Dimensions(uint32_t n_nodes) const {
+  GridDimensions dims = options_.layout == GridLayout::kColumnSafe
+                            ? DefineGridColumnSafe(n_nodes)
+                            : DefineGrid(n_nodes);
+  if (options_.prefer_tall && dims.rows != dims.cols) {
+    // Transpose to the (n+1) x n shape; recompute the slack (b < cols
+    // must still hold, and does: b < old cols implies b <= new cols
+    // because the shapes differ by one).
+    std::swap(dims.rows, dims.cols);
+    if (dims.unoccupied >= dims.cols) {
+      // Rare with b close to cols: fall back to the untransposed shape.
+      std::swap(dims.rows, dims.cols);
+    }
+  }
+  return dims;
+}
+
+std::string GridCoterie::Name() const {
+  std::string name = options_.short_column_optimization ? "grid" : "grid-unopt";
+  if (options_.layout == GridLayout::kColumnSafe) name += "-colsafe";
+  return name;
+}
+
+bool GridCoterie::ColumnFull(const GridDimensions& dims, uint32_t col,
+                             uint32_t covered) const {
+  uint32_t height = dims.ColumnHeight(col);
+  if (!options_.short_column_optimization && height < dims.rows) {
+    // Unoccupied positions behave like permanently failed nodes: a short
+    // column can never be fully covered.
+    return false;
+  }
+  return covered == height;
+}
+
+namespace {
+
+/// Per-column cover counts of S within the grid over V. Since unoccupied
+/// positions are always at the bottom-right, the *count* of covered rows in
+/// a column equals full coverage iff it matches the column height.
+std::vector<uint32_t> ColumnCover(const NodeSet& v, const NodeSet& s,
+                                  const GridDimensions& dims) {
+  std::vector<uint32_t> covered(dims.cols, 0);
+  for (NodeId node : s) {
+    int64_t k = v.OrderedIndex(node);
+    if (k < 0) continue;  // Not a member of V; ignore.
+    GridPosition pos = PositionOf(static_cast<uint32_t>(k), dims);
+    ++covered[pos.col];
+  }
+  return covered;
+}
+
+}  // namespace
+
+bool GridCoterie::IsReadQuorum(const NodeSet& v, const NodeSet& s) const {
+  uint32_t n = v.Size();
+  if (n == 0) return false;
+  GridDimensions dims = Dimensions(n);
+  std::vector<uint32_t> covered = ColumnCover(v, s, dims);
+  for (uint32_t c = 0; c < dims.cols; ++c) {
+    if (covered[c] == 0) return false;
+  }
+  return true;
+}
+
+bool GridCoterie::IsWriteQuorum(const NodeSet& v, const NodeSet& s) const {
+  uint32_t n = v.Size();
+  if (n == 0) return false;
+  GridDimensions dims = Dimensions(n);
+  std::vector<uint32_t> covered = ColumnCover(v, s, dims);
+  bool some_column_full = false;
+  for (uint32_t c = 0; c < dims.cols; ++c) {
+    if (covered[c] == 0) return false;  // COLUMN-COVER must be complete.
+    if (ColumnFull(dims, c, covered[c])) some_column_full = true;
+  }
+  return some_column_full;
+}
+
+Result<NodeSet> GridCoterie::ReadQuorum(const NodeSet& v,
+                                        uint64_t selector) const {
+  uint32_t n = v.Size();
+  if (n == 0) return Status::InvalidArgument("empty node set");
+  GridDimensions dims = Dimensions(n);
+  NodeSet quorum;
+  for (uint32_t c = 0; c < dims.cols; ++c) {
+    uint32_t height = dims.ColumnHeight(c);
+    uint32_t row = static_cast<uint32_t>((selector + c) % height);
+    quorum.Insert(v.NthMember(row * dims.cols + c));
+  }
+  return quorum;
+}
+
+Result<NodeSet> GridCoterie::WriteQuorum(const NodeSet& v,
+                                         uint64_t selector) const {
+  uint32_t n = v.Size();
+  if (n == 0) return Status::InvalidArgument("empty node set");
+  GridDimensions dims = Dimensions(n);
+
+  // Choose the column to cover fully. Without the short-column
+  // optimization only the first (cols - unoccupied) columns are coverable.
+  uint32_t coverable = options_.short_column_optimization
+                           ? dims.cols
+                           : dims.cols - dims.unoccupied;
+  if (coverable == 0) {
+    return Status::Unavailable("no coverable column (all columns short)");
+  }
+  uint32_t full_col = static_cast<uint32_t>(selector % coverable);
+
+  Result<NodeSet> read = ReadQuorum(v, selector);
+  if (!read.ok()) return read;
+  NodeSet quorum = std::move(read).value();
+  uint32_t height = dims.ColumnHeight(full_col);
+  for (uint32_t r = 0; r < height; ++r) {
+    quorum.Insert(v.NthMember(r * dims.cols + full_col));
+  }
+  return quorum;
+}
+
+std::string GridCoterie::LayoutString(const NodeSet& v) {
+  uint32_t n = v.Size();
+  if (n == 0) return "(empty)";
+  GridDimensions dims = DefineGrid(n);
+  std::vector<NodeId> members = v.ToVector();
+  std::ostringstream os;
+  for (uint32_t r = 0; r < dims.rows; ++r) {
+    for (uint32_t c = 0; c < dims.cols; ++c) {
+      uint32_t k = r * dims.cols + c;
+      if (c > 0) os << ' ';
+      if (k < n) {
+        os << members[k];
+      } else {
+        os << '.';
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dcp::coterie

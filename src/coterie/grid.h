@@ -1,0 +1,118 @@
+#ifndef DCP_COTERIE_GRID_H_
+#define DCP_COTERIE_GRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coterie/coterie.h"
+#include "util/node_set.h"
+
+namespace dcp::coterie {
+
+/// Output of the paper's DefineGrid subroutine (Section 5): an m x n grid
+/// with b unoccupied positions, all in the bottom row and right-justified.
+struct GridDimensions {
+  uint32_t rows = 0;        ///< m
+  uint32_t cols = 0;        ///< n
+  uint32_t unoccupied = 0;  ///< b = m*n - N, always < n
+
+  /// Number of physical nodes in column `col` (0-based): `rows` for the
+  /// first `cols - unoccupied` columns, `rows - 1` for the rest.
+  uint32_t ColumnHeight(uint32_t col) const {
+    return col < cols - unoccupied ? rows : rows - 1;
+  }
+};
+
+/// The paper's DefineGrid: m = floor(sqrt N), n = ceil(sqrt N), bump m by
+/// one if m*n < N; b = m*n - N. Keeps |m - n| <= 1 and prefers the
+/// n x (n+1) shape. N must be >= 1.
+GridDimensions DefineGrid(uint32_t n_nodes);
+
+/// A corrected construction rule: like DefineGrid, but never produces a
+/// *single-node column*. The paper's rule yields one for N = 5 (a 2x3
+/// grid with b = 1 leaves column 3 holding one node), making that node a
+/// single point of failure for every quorum — which contradicts the
+/// Section 6 claim that every grid of >= 4 nodes tolerates one failure,
+/// and measurably hurts the dynamic protocol (epochs shrink *through*
+/// size 5). When the paper's shape would leave height-1 short columns,
+/// this rule removes columns (making them taller) until the minimum
+/// column height is at least 2. Quorum sizes stay within one node of the
+/// paper's. See bench/grid_construction.
+GridDimensions DefineGridColumnSafe(uint32_t n_nodes);
+
+/// Grid layout rule selector.
+enum class GridLayout {
+  kPaper,       ///< Section 5's DefineGrid, verbatim.
+  kColumnSafe,  ///< DefineGridColumnSafe (no single-node columns).
+};
+
+/// Grid coordinates, 0-based (the paper uses 1-based).
+struct GridPosition {
+  uint32_t row = 0;
+  uint32_t col = 0;
+};
+
+/// Position of the node with 0-based ordered index `k` in a grid with
+/// `cols` columns: row-major, columns varying fastest ("columns first").
+inline GridPosition PositionOf(uint32_t k, const GridDimensions& dims) {
+  return GridPosition{k / dims.cols, k % dims.cols};
+}
+
+struct GridOptions {
+  /// The short-column optimization credited to C. Neuman in the paper's
+  /// acknowledgements: a column whose bottom position is unoccupied counts
+  /// as fully covered by its m-1 physical nodes. The pseudocode in
+  /// Section 5 includes it; the availability analysis of Section 6
+  /// (Figure 2, "all three nodes are needed") does not. Default on.
+  bool short_column_optimization = true;
+
+  /// Which construction rule maps N to grid dimensions.
+  GridLayout layout = GridLayout::kPaper;
+
+  /// The paper's ratio parameter k (Section 5, requirement 2): the m/n
+  /// aspect ratio trades read cost against write availability —
+  /// "Increasing k, one makes reads more efficient and writes less
+  /// available". DefineGrid keeps |m - n| <= 1 and prefers the wide
+  /// n x (n+1) shape (k < 1); setting `prefer_tall` transposes non-square
+  /// grids to (n+1) x n (k > 1): one column fewer, so read quorums
+  /// shrink by one, while the full column a write must cover grows.
+  bool prefer_tall = false;
+};
+
+/// The dynamic grid coterie (Section 5): read quorums take one
+/// representative from every column; write quorums additionally cover all
+/// physical nodes of some column.
+class GridCoterie : public CoterieRule {
+ public:
+  explicit GridCoterie(GridOptions options = {}) : options_(options) {}
+
+  std::string Name() const override;
+  bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
+  bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
+  Result<NodeSet> ReadQuorum(const NodeSet& v,
+                             uint64_t selector) const override;
+  Result<NodeSet> WriteQuorum(const NodeSet& v,
+                              uint64_t selector) const override;
+
+  const GridOptions& options() const { return options_; }
+
+  /// Renders the grid layout for V as rows of node ids ("." for
+  /// unoccupied), reproducing the paper's Figure 1 / Figure 2 pictures.
+  static std::string LayoutString(const NodeSet& v);
+
+  /// The dimensions this coterie's layout rule produces for `n` nodes.
+  GridDimensions Dimensions(uint32_t n_nodes) const;
+
+ private:
+  /// True iff column `col` is fully covered (per the optimization flag)
+  /// by the rows present in `covered_rows_count`-style bookkeeping; see cc.
+  bool ColumnFull(const GridDimensions& dims, uint32_t col,
+                  uint32_t covered) const;
+
+  GridOptions options_;
+};
+
+}  // namespace dcp::coterie
+
+#endif  // DCP_COTERIE_GRID_H_

@@ -1,0 +1,92 @@
+#include "coterie/hierarchical.h"
+
+#include <cmath>
+
+namespace dcp::coterie {
+
+std::vector<uint32_t> HierarchicalCoterie::GroupSizes(uint32_t n) {
+  auto groups = static_cast<uint32_t>(std::ceil(std::sqrt(double{1} * n)));
+  if (groups == 0) return {};
+  std::vector<uint32_t> sizes(groups, n / groups);
+  // Distribute the remainder one extra node per leading group.
+  for (uint32_t i = 0; i < n % groups; ++i) ++sizes[i];
+  return sizes;
+}
+
+namespace {
+
+/// Count of S-members inside each consecutive group of V.
+std::vector<uint32_t> GroupCover(const NodeSet& v, const NodeSet& s,
+                                 const std::vector<uint32_t>& sizes) {
+  // Prefix sums give each ordered index its group.
+  std::vector<uint32_t> start(sizes.size() + 1, 0);
+  for (size_t g = 0; g < sizes.size(); ++g) start[g + 1] = start[g] + sizes[g];
+
+  std::vector<uint32_t> covered(sizes.size(), 0);
+  for (NodeId node : s) {
+    int64_t k = v.OrderedIndex(node);
+    if (k < 0) continue;
+    // Find the group containing ordered index k (groups are small; linear
+    // scan is fine and simple).
+    for (size_t g = 0; g < sizes.size(); ++g) {
+      if (static_cast<uint32_t>(k) < start[g + 1]) {
+        ++covered[g];
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+bool HierarchicalCoterie::IsWriteQuorum(const NodeSet& v,
+                                        const NodeSet& s) const {
+  uint32_t n = v.Size();
+  if (n == 0) return false;
+  std::vector<uint32_t> sizes = GroupSizes(n);
+  std::vector<uint32_t> covered = GroupCover(v, s, sizes);
+  uint32_t groups_with_majority = 0;
+  for (size_t g = 0; g < sizes.size(); ++g) {
+    if (covered[g] >= sizes[g] / 2 + 1) ++groups_with_majority;
+  }
+  return groups_with_majority >= sizes.size() / 2 + 1;
+}
+
+bool HierarchicalCoterie::IsReadQuorum(const NodeSet& v,
+                                       const NodeSet& s) const {
+  return IsWriteQuorum(v, s);
+}
+
+Result<NodeSet> HierarchicalCoterie::WriteQuorum(const NodeSet& v,
+                                                 uint64_t selector) const {
+  uint32_t n = v.Size();
+  if (n == 0) return Status::InvalidArgument("empty node set");
+  std::vector<uint32_t> sizes = GroupSizes(n);
+  uint32_t groups = static_cast<uint32_t>(sizes.size());
+  uint32_t need_groups = groups / 2 + 1;
+
+  NodeSet quorum;
+  uint32_t first_group = static_cast<uint32_t>(selector % groups);
+  // Precompute group start offsets.
+  std::vector<uint32_t> start(groups + 1, 0);
+  for (uint32_t g = 0; g < groups; ++g) start[g + 1] = start[g] + sizes[g];
+
+  for (uint32_t i = 0; i < need_groups; ++i) {
+    uint32_t g = (first_group + i) % groups;
+    uint32_t need_members = sizes[g] / 2 + 1;
+    uint32_t rot = static_cast<uint32_t>((selector / groups) % sizes[g]);
+    for (uint32_t j = 0; j < need_members; ++j) {
+      uint32_t ordinal = start[g] + (rot + j) % sizes[g];
+      quorum.Insert(v.NthMember(ordinal));
+    }
+  }
+  return quorum;
+}
+
+Result<NodeSet> HierarchicalCoterie::ReadQuorum(const NodeSet& v,
+                                                uint64_t selector) const {
+  return WriteQuorum(v, selector);
+}
+
+}  // namespace dcp::coterie

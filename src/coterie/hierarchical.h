@@ -1,0 +1,40 @@
+#ifndef DCP_COTERIE_HIERARCHICAL_H_
+#define DCP_COTERIE_HIERARCHICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coterie/coterie.h"
+
+namespace dcp::coterie {
+
+/// Two-level hierarchical quorum consensus (Kumar 1990, the paper's
+/// reference [10]). The ordered set V is split into ceil(sqrt N) groups of
+/// near-equal size (consecutive runs of the order); a quorum is a majority
+/// of the members of each of a majority of groups.
+///
+/// Intersection holds level-wise: two quorums share a group (majority of
+/// groups each) and within that group share a node (majority of members
+/// each). Quorum size is ~ ceil(g/2) * ceil(s/2) ≈ N/4 + O(sqrt N) —
+/// between the grid's O(sqrt N) and voting's N/2.
+class HierarchicalCoterie : public CoterieRule {
+ public:
+  HierarchicalCoterie() = default;
+
+  std::string Name() const override { return "hierarchical"; }
+  bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
+  bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
+  Result<NodeSet> ReadQuorum(const NodeSet& v,
+                             uint64_t selector) const override;
+  Result<NodeSet> WriteQuorum(const NodeSet& v,
+                              uint64_t selector) const override;
+
+  /// Group boundaries for |V| = n: sizes of each group, near-equal,
+  /// ceil(sqrt n) groups.
+  static std::vector<uint32_t> GroupSizes(uint32_t n);
+};
+
+}  // namespace dcp::coterie
+
+#endif  // DCP_COTERIE_HIERARCHICAL_H_

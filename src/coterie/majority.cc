@@ -1,0 +1,108 @@
+#include "coterie/majority.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dcp::coterie {
+
+bool MajorityCoterie::IsReadQuorum(const NodeSet& v, const NodeSet& s) const {
+  uint32_t n = v.Size();
+  if (n == 0) return false;
+  return s.Intersection(v).Size() >= MajoritySize(n);
+}
+
+bool MajorityCoterie::IsWriteQuorum(const NodeSet& v, const NodeSet& s) const {
+  return IsReadQuorum(v, s);
+}
+
+namespace {
+
+/// Picks `count` members of V starting at a selector-dependent rotation,
+/// so different coordinators use different (overlapping) majorities.
+NodeSet RotatedPick(const NodeSet& v, uint64_t selector, uint32_t count) {
+  uint32_t n = v.Size();
+  NodeSet out;
+  uint32_t start = static_cast<uint32_t>(selector % n);
+  for (uint32_t i = 0; i < count; ++i) {
+    out.Insert(v.NthMember((start + i) % n));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<NodeSet> MajorityCoterie::ReadQuorum(const NodeSet& v,
+                                            uint64_t selector) const {
+  uint32_t n = v.Size();
+  if (n == 0) return Status::InvalidArgument("empty node set");
+  return RotatedPick(v, selector, MajoritySize(n));
+}
+
+Result<NodeSet> MajorityCoterie::WriteQuorum(const NodeSet& v,
+                                             uint64_t selector) const {
+  return ReadQuorum(v, selector);
+}
+
+uint32_t WeightedVotingCoterie::VoteOf(NodeId node) const {
+  auto it = options_.votes.find(node);
+  return it == options_.votes.end() ? 1 : it->second;
+}
+
+uint32_t WeightedVotingCoterie::TotalVotes(const NodeSet& v) const {
+  uint32_t total = 0;
+  for (NodeId n : v) total += VoteOf(n);
+  return total;
+}
+
+uint32_t WeightedVotingCoterie::ReadTarget(const NodeSet& v) const {
+  uint32_t total = TotalVotes(v);
+  return static_cast<uint32_t>(options_.read_threshold * total) + 1;
+}
+
+uint32_t WeightedVotingCoterie::WriteTarget(const NodeSet& v) const {
+  uint32_t total = TotalVotes(v);
+  return static_cast<uint32_t>(options_.write_threshold * total) + 1;
+}
+
+bool WeightedVotingCoterie::IsReadQuorum(const NodeSet& v,
+                                         const NodeSet& s) const {
+  if (v.Empty()) return false;
+  return TotalVotes(s.Intersection(v)) >= ReadTarget(v);
+}
+
+bool WeightedVotingCoterie::IsWriteQuorum(const NodeSet& v,
+                                          const NodeSet& s) const {
+  if (v.Empty()) return false;
+  return TotalVotes(s.Intersection(v)) >= WriteTarget(v);
+}
+
+Result<NodeSet> WeightedVotingCoterie::PickQuorum(const NodeSet& v,
+                                                  uint64_t selector,
+                                                  uint32_t target) const {
+  uint32_t n = v.Size();
+  if (n == 0) return Status::InvalidArgument("empty node set");
+  NodeSet out;
+  uint32_t votes = 0;
+  uint32_t start = static_cast<uint32_t>(selector % n);
+  for (uint32_t i = 0; i < n && votes < target; ++i) {
+    NodeId node = v.NthMember((start + i) % n);
+    out.Insert(node);
+    votes += VoteOf(node);
+  }
+  if (votes < target) {
+    return Status::Unavailable("vote target unreachable");
+  }
+  return out;
+}
+
+Result<NodeSet> WeightedVotingCoterie::ReadQuorum(const NodeSet& v,
+                                                  uint64_t selector) const {
+  return PickQuorum(v, selector, ReadTarget(v));
+}
+
+Result<NodeSet> WeightedVotingCoterie::WriteQuorum(const NodeSet& v,
+                                                   uint64_t selector) const {
+  return PickQuorum(v, selector, WriteTarget(v));
+}
+
+}  // namespace dcp::coterie

@@ -1,0 +1,81 @@
+#ifndef DCP_COTERIE_MAJORITY_H_
+#define DCP_COTERIE_MAJORITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "coterie/coterie.h"
+
+namespace dcp::coterie {
+
+/// Unweighted voting coterie (Gifford's scheme with one vote per node):
+/// a write quorum is any majority, floor(|V|/2) + 1 nodes; read quorums
+/// are majorities too by default, or any `read_quorum_size` with
+/// r + w > |V|.
+///
+/// Plugging this rule into the dynamic protocol of Section 4 yields a
+/// dynamic-voting-style protocol where reads and writes contact only
+/// quorums rather than all nodes — the improvement Section 7 claims for
+/// dynamic voting.
+class MajorityCoterie : public CoterieRule {
+ public:
+  /// `read_fraction` tunes the read/write trade-off: read quorum size is
+  /// max(1, |V| + 1 - w) when 0 (read-optimal), or a majority when 0.5.
+  /// Default: both majorities (the classical choice).
+  MajorityCoterie() = default;
+
+  std::string Name() const override { return "majority"; }
+  bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
+  bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
+  Result<NodeSet> ReadQuorum(const NodeSet& v,
+                             uint64_t selector) const override;
+  Result<NodeSet> WriteQuorum(const NodeSet& v,
+                              uint64_t selector) const override;
+
+  /// Majority threshold for |V| = n.
+  static uint32_t MajoritySize(uint32_t n) { return n / 2 + 1; }
+};
+
+/// Weighted voting (Gifford 1979): node i carries `votes[i]` votes
+/// (default 1); S includes a read (write) quorum iff its vote total
+/// reaches r (w). Thresholds are given as fractions of the *total live
+/// vote count of V*; defaults give r = w = majority of votes.
+///
+/// Invariants required for a valid coterie: r + w > total and 2w > total,
+/// checked at quorum-test time against the current V.
+class WeightedVotingCoterie : public CoterieRule {
+ public:
+  struct Options {
+    std::map<NodeId, uint32_t> votes;  ///< Missing nodes get weight 1.
+    double read_threshold = 0.5;       ///< r = floor(th * total) + 1
+    double write_threshold = 0.5;      ///< w = floor(th * total) + 1
+  };
+
+  WeightedVotingCoterie() : options_() {}
+  explicit WeightedVotingCoterie(Options options)
+      : options_(std::move(options)) {}
+
+  std::string Name() const override { return "weighted-voting"; }
+  bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
+  bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
+  Result<NodeSet> ReadQuorum(const NodeSet& v,
+                             uint64_t selector) const override;
+  Result<NodeSet> WriteQuorum(const NodeSet& v,
+                              uint64_t selector) const override;
+
+  uint32_t VoteOf(NodeId node) const;
+  uint32_t TotalVotes(const NodeSet& v) const;
+
+ private:
+  uint32_t ReadTarget(const NodeSet& v) const;
+  uint32_t WriteTarget(const NodeSet& v) const;
+  Result<NodeSet> PickQuorum(const NodeSet& v, uint64_t selector,
+                             uint32_t target) const;
+
+  Options options_;
+};
+
+}  // namespace dcp::coterie
+
+#endif  // DCP_COTERIE_MAJORITY_H_

@@ -1,0 +1,144 @@
+#include "coterie/properties.h"
+
+#include <cassert>
+#include <string>
+
+namespace dcp::coterie {
+namespace {
+
+NodeSet SubsetFromMask(const std::vector<NodeId>& members, uint32_t mask) {
+  NodeSet s;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if ((mask >> i) & 1) s.Insert(members[i]);
+  }
+  return s;
+}
+
+bool IsQuorum(const CoterieRule& rule, const NodeSet& v, const NodeSet& s,
+              bool read) {
+  return read ? rule.IsReadQuorum(v, s) : rule.IsWriteQuorum(v, s);
+}
+
+}  // namespace
+
+std::vector<NodeSet> EnumerateMinimalQuorums(const CoterieRule& rule,
+                                             const NodeSet& v, bool read) {
+  std::vector<NodeId> members = v.ToVector();
+  assert(members.size() <= 20);
+  uint32_t n = static_cast<uint32_t>(members.size());
+  std::vector<NodeSet> minimal;
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    NodeSet s = SubsetFromMask(members, mask);
+    if (!IsQuorum(rule, v, s, read)) continue;
+    // Minimal iff removing any single member breaks the property.
+    bool is_minimal = true;
+    for (uint32_t i = 0; i < n && is_minimal; ++i) {
+      if (!((mask >> i) & 1)) continue;
+      NodeSet smaller = SubsetFromMask(members, mask & ~(uint32_t{1} << i));
+      if (IsQuorum(rule, v, smaller, read)) is_minimal = false;
+    }
+    if (is_minimal) minimal.push_back(std::move(s));
+  }
+  return minimal;
+}
+
+Status VerifyCoterieExhaustive(const CoterieRule& rule, const NodeSet& v) {
+  std::vector<NodeSet> writes = EnumerateMinimalQuorums(rule, v, false);
+  std::vector<NodeSet> reads = EnumerateMinimalQuorums(rule, v, true);
+  if (writes.empty()) {
+    return Status::Internal(rule.Name() + ": no write quorum over " +
+                            v.ToString());
+  }
+  if (reads.empty()) {
+    return Status::Internal(rule.Name() + ": no read quorum over " +
+                            v.ToString());
+  }
+  for (size_t i = 0; i < writes.size(); ++i) {
+    for (size_t j = i; j < writes.size(); ++j) {
+      if (!writes[i].Intersects(writes[j])) {
+        return Status::Internal(rule.Name() + ": disjoint write quorums " +
+                                writes[i].ToString() + " and " +
+                                writes[j].ToString() + " over " +
+                                v.ToString());
+      }
+    }
+    for (const NodeSet& r : reads) {
+      if (!r.Intersects(writes[i])) {
+        return Status::Internal(rule.Name() + ": read quorum " +
+                                r.ToString() + " disjoint from write quorum " +
+                                writes[i].ToString() + " over " +
+                                v.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyCoterieRandomized(const CoterieRule& rule, const NodeSet& v,
+                               Rng* rng, int samples) {
+  std::vector<NodeId> members = v.ToVector();
+  auto random_accepted_subset = [&](bool read) -> NodeSet {
+    // Start from a random subset; grow until accepted; then greedily
+    // shrink to get near-minimal sets (more likely to expose disjointness).
+    NodeSet s;
+    for (NodeId m : members) {
+      if (rng->Bernoulli(0.5)) s.Insert(m);
+    }
+    for (NodeId m : members) {
+      if (IsQuorum(rule, v, s, read)) break;
+      s.Insert(m);
+    }
+    for (NodeId m : members) {
+      NodeSet t = s;
+      t.Erase(m);
+      if (IsQuorum(rule, v, t, read)) s = t;
+    }
+    return s;
+  };
+
+  for (int i = 0; i < samples; ++i) {
+    NodeSet w1 = random_accepted_subset(false);
+    NodeSet w2 = random_accepted_subset(false);
+    NodeSet r = random_accepted_subset(true);
+    if (!w1.Intersects(w2)) {
+      return Status::Internal(rule.Name() + ": disjoint write quorums " +
+                              w1.ToString() + " and " + w2.ToString());
+    }
+    if (!r.Intersects(w1)) {
+      return Status::Internal(rule.Name() + ": read quorum " + r.ToString() +
+                              " disjoint from write quorum " + w1.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyQuorumFunction(const CoterieRule& rule, const NodeSet& v,
+                            uint64_t selectors) {
+  for (uint64_t sel = 0; sel < selectors; ++sel) {
+    Result<NodeSet> r = rule.ReadQuorum(v, sel);
+    if (!r.ok()) return r.status();
+    if (!rule.IsReadQuorum(v, *r)) {
+      return Status::Internal(rule.Name() + ": ReadQuorum(sel=" +
+                              std::to_string(sel) + ") = " + r->ToString() +
+                              " rejected by IsReadQuorum over " +
+                              v.ToString());
+    }
+    if (!r->IsSubsetOf(v)) {
+      return Status::Internal(rule.Name() + ": ReadQuorum not a subset of V");
+    }
+    Result<NodeSet> w = rule.WriteQuorum(v, sel);
+    if (!w.ok()) return w.status();
+    if (!rule.IsWriteQuorum(v, *w)) {
+      return Status::Internal(rule.Name() + ": WriteQuorum(sel=" +
+                              std::to_string(sel) + ") = " + w->ToString() +
+                              " rejected by IsWriteQuorum over " +
+                              v.ToString());
+    }
+    if (!w->IsSubsetOf(v)) {
+      return Status::Internal(rule.Name() + ": WriteQuorum not a subset of V");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dcp::coterie

@@ -1,0 +1,46 @@
+#ifndef DCP_COTERIE_PROPERTIES_H_
+#define DCP_COTERIE_PROPERTIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "coterie/coterie.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dcp::coterie {
+
+/// Verification utilities for the coterie definition of Section 3:
+/// intersection (safety-critical) and non-domination (minimality).
+/// Used by tests and by `examples/availability_explorer` to sanity-check
+/// user-supplied coterie rules.
+
+/// Exhaustively enumerates the *minimal* write quorums of `rule` over V
+/// (subsets S with IsWriteQuorum(V,S) whose proper subsets all fail).
+/// |V| must be <= 20. Minimal read quorums analogously with `read = true`.
+std::vector<NodeSet> EnumerateMinimalQuorums(const CoterieRule& rule,
+                                             const NodeSet& v, bool read);
+
+/// Exhaustively checks, for |V| <= 20:
+///   - every pair of minimal write quorums intersects,
+///   - every minimal read quorum intersects every minimal write quorum,
+///   - non-domination within each family (automatic for minimal sets, but
+///     we also confirm at least one quorum exists).
+/// (Intersection of minimal quorums implies intersection of all quorums by
+/// monotonicity of the membership predicates.)
+Status VerifyCoterieExhaustive(const CoterieRule& rule, const NodeSet& v);
+
+/// Randomized check for larger V: samples `samples` pairs of subsets that
+/// the predicates accept and confirms they intersect. Also verifies the
+/// quorum *function* agrees with the predicates for many selectors.
+Status VerifyCoterieRandomized(const CoterieRule& rule, const NodeSet& v,
+                               Rng* rng, int samples);
+
+/// Confirms ReadQuorum/WriteQuorum outputs satisfy IsReadQuorum /
+/// IsWriteQuorum for `selectors` consecutive selector values.
+Status VerifyQuorumFunction(const CoterieRule& rule, const NodeSet& v,
+                            uint64_t selectors);
+
+}  // namespace dcp::coterie
+
+#endif  // DCP_COTERIE_PROPERTIES_H_

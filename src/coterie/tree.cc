@@ -1,0 +1,80 @@
+#include "coterie/tree.h"
+
+#include <vector>
+
+namespace dcp::coterie {
+namespace {
+
+/// Does `present` (bit per ordered index) include a tree quorum for the
+/// subtree rooted at index `root`?
+bool HasTreeQuorum(const std::vector<bool>& present, uint32_t root,
+                   uint32_t n) {
+  if (root >= n) return false;
+  uint32_t left = 2 * root + 1;
+  uint32_t right = 2 * root + 2;
+  bool is_leaf = left >= n;
+  if (present[root]) {
+    if (is_leaf) return true;
+    if (HasTreeQuorum(present, left, n)) return true;
+    if (right < n && HasTreeQuorum(present, right, n)) return true;
+    return false;
+  }
+  // Root missing: need quorums in BOTH subtrees. A missing subtree cannot
+  // supply one, so a missing root with fewer than two children fails.
+  if (right >= n) return false;
+  return HasTreeQuorum(present, left, n) && HasTreeQuorum(present, right, n);
+}
+
+/// Builds the failure-free minimal quorum: a root-to-leaf path. The
+/// selector picks which child to descend into at each level, spreading
+/// load across paths.
+void BuildPath(const NodeSet& v, uint32_t n, uint64_t selector,
+               NodeSet* out) {
+  uint32_t idx = 0;
+  uint64_t bits = selector;
+  while (idx < n) {
+    out->Insert(v.NthMember(idx));
+    uint32_t left = 2 * idx + 1;
+    uint32_t right = 2 * idx + 2;
+    if (left >= n) break;
+    if (right < n && (bits & 1)) {
+      idx = right;
+    } else {
+      idx = left;
+    }
+    bits >>= 1;
+  }
+}
+
+}  // namespace
+
+bool TreeCoterie::IsReadQuorum(const NodeSet& v, const NodeSet& s) const {
+  uint32_t n = v.Size();
+  if (n == 0) return false;
+  std::vector<bool> present(n, false);
+  for (NodeId node : s) {
+    int64_t k = v.OrderedIndex(node);
+    if (k >= 0) present[static_cast<size_t>(k)] = true;
+  }
+  return HasTreeQuorum(present, 0, n);
+}
+
+bool TreeCoterie::IsWriteQuorum(const NodeSet& v, const NodeSet& s) const {
+  return IsReadQuorum(v, s);
+}
+
+Result<NodeSet> TreeCoterie::ReadQuorum(const NodeSet& v,
+                                        uint64_t selector) const {
+  uint32_t n = v.Size();
+  if (n == 0) return Status::InvalidArgument("empty node set");
+  NodeSet out;
+  BuildPath(v, n, selector, &out);
+  return out;
+}
+
+Result<NodeSet> TreeCoterie::WriteQuorum(const NodeSet& v,
+                                         uint64_t selector) const {
+  return ReadQuorum(v, selector);
+}
+
+}  // namespace dcp::coterie

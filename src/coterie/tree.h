@@ -1,0 +1,40 @@
+#ifndef DCP_COTERIE_TREE_H_
+#define DCP_COTERIE_TREE_H_
+
+#include <string>
+
+#include "coterie/coterie.h"
+
+namespace dcp::coterie {
+
+/// The tree quorum protocol of Agrawal & El Abbadi (PODC 1989), the other
+/// structured coterie protocol the paper cites ([1]). Nodes are arranged
+/// (by their order in V) into a complete binary tree, heap-style: the node
+/// at ordered index k has children 2k+1 and 2k+2.
+///
+/// A set S contains a tree quorum for the subtree rooted at r iff
+///   - r is in S and (r is a leaf, or S contains a quorum for at least
+///     one of r's subtrees), or
+///   - S contains quorums for *both* of r's subtrees (r is bypassed).
+///
+/// In the failure-free case the minimal quorum is a root-to-leaf path of
+/// log2(N) + 1 nodes; under failures quorums degrade gracefully. Read and
+/// write quorums coincide (the protocol was designed for mutual
+/// exclusion), which trivially satisfies the coterie intersection
+/// requirements given pairwise quorum intersection.
+class TreeCoterie : public CoterieRule {
+ public:
+  TreeCoterie() = default;
+
+  std::string Name() const override { return "tree"; }
+  bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
+  bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
+  Result<NodeSet> ReadQuorum(const NodeSet& v,
+                             uint64_t selector) const override;
+  Result<NodeSet> WriteQuorum(const NodeSet& v,
+                              uint64_t selector) const override;
+};
+
+}  // namespace dcp::coterie
+
+#endif  // DCP_COTERIE_TREE_H_

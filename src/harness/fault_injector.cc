@@ -1,0 +1,34 @@
+#include "harness/fault_injector.h"
+
+namespace dcp::harness {
+
+FaultInjector::FaultInjector(protocol::Cluster* cluster, Options options)
+    : cluster_(cluster),
+      options_(options),
+      rng_(options.seed),
+      up_(cluster->num_nodes(), true) {
+  state_ = std::make_shared<Shared>();
+  for (NodeId id = 0; id < cluster_->num_nodes(); ++id) Arm(id);
+}
+
+void FaultInjector::Arm(NodeId id) {
+  double rate = up_[id] ? 1.0 / options_.mtbf : 1.0 / options_.mttr;
+  double delay = rng_.Exponential(rate);
+  // The shared flag keeps already-queued events harmless after this
+  // injector is stopped or destroyed.
+  std::shared_ptr<Shared> state = state_;
+  cluster_->simulator().Schedule(delay, [this, state, id] {
+    if (state->stopped) return;
+    if (up_[id]) {
+      cluster_->Crash(id);
+      ++failures_;
+    } else {
+      cluster_->Recover(id);
+      ++repairs_;
+    }
+    up_[id] = !up_[id];
+    Arm(id);
+  });
+}
+
+}  // namespace dcp::harness

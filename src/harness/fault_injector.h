@@ -1,0 +1,64 @@
+#ifndef DCP_HARNESS_FAULT_INJECTOR_H_
+#define DCP_HARNESS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "protocol/cluster.h"
+#include "util/random.h"
+
+namespace dcp::harness {
+
+/// Drives the paper's site model against a live Cluster: each node fails
+/// after an Exponential(1/mtbf) up-period and recovers after an
+/// Exponential(1/mttr) down-period, independently (Section 6's
+/// assumptions 1-2, with real — not instantaneous — operations).
+class FaultInjector {
+ public:
+  struct Options {
+    double mtbf = 20000;  ///< Mean time between failures, per node.
+    double mttr = 2000;   ///< Mean time to repair.
+    uint64_t seed = 1;
+  };
+
+  /// Starts injecting immediately; runs until the injector is destroyed
+  /// or `Stop()` is called. The cluster must outlive the injector.
+  FaultInjector(protocol::Cluster* cluster, Options options);
+  ~FaultInjector() { Stop(); }
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Stops injecting. Already-queued fault events become no-ops (the
+  /// shared stop flag outlives the injector).
+  void Stop() {
+    if (state_) state_->stopped = true;
+  }
+
+  uint64_t failures_injected() const { return failures_; }
+  uint64_t repairs_injected() const { return repairs_; }
+
+  /// Steady-state per-node availability this schedule converges to.
+  double NodeAvailability() const {
+    return options_.mtbf / (options_.mtbf + options_.mttr);
+  }
+
+ private:
+  struct Shared {
+    bool stopped = false;
+  };
+
+  void Arm(NodeId id);
+
+  protocol::Cluster* cluster_;
+  Options options_;
+  Rng rng_;
+  std::shared_ptr<Shared> state_;
+  std::vector<bool> up_;
+  uint64_t failures_ = 0;
+  uint64_t repairs_ = 0;
+};
+
+}  // namespace dcp::harness
+
+#endif  // DCP_HARNESS_FAULT_INJECTOR_H_

@@ -1,0 +1,118 @@
+#include "harness/workload.h"
+
+#include <algorithm>
+
+#include "baseline/accessible_copies.h"
+#include "baseline/dynamic_voting.h"
+#include "baseline/static_protocol.h"
+
+namespace dcp::harness {
+
+using protocol::ReadOutcome;
+using protocol::Update;
+using protocol::WriteOutcome;
+
+WorkloadDriver::WorkloadDriver(protocol::Cluster* cluster, Options options)
+    : cluster_(cluster), options_(options), rng_(options.seed) {
+  state_ = std::make_shared<Shared>();
+  ArmNext();
+}
+
+void WorkloadDriver::ArmNext() {
+  double delay = rng_.Exponential(options_.arrival_rate);
+  std::shared_ptr<Shared> state = state_;
+  cluster_->simulator().Schedule(delay, [this, state] {
+    if (state->stopped) return;
+    Issue();
+    ArmNext();
+  });
+}
+
+NodeId WorkloadDriver::PickLiveCoordinator() {
+  NodeSet up = cluster_->UpNodes();
+  if (up.Empty()) return kInvalidNode;
+  return up.NthMember(static_cast<uint32_t>(rng_.Uniform(up.Size())));
+}
+
+void WorkloadDriver::Issue() {
+  NodeId coordinator = PickLiveCoordinator();
+  if (coordinator == kInvalidNode) return;  // Whole cluster down.
+  storage::ObjectId object = static_cast<storage::ObjectId>(
+      rng_.Uniform(std::max(1u, cluster_->options().num_objects)));
+  double started = cluster_->simulator().Now();
+  std::shared_ptr<Shared> state = state_;
+
+  auto write_done = [this, state, started](Result<WriteOutcome> r) {
+    if (state->stopped) return;
+    double latency = cluster_->simulator().Now() - started;
+    if (r.ok()) {
+      ++writes_.committed;
+      writes_.total_latency += latency;
+      writes_.max_latency = std::max(writes_.max_latency, latency);
+    } else {
+      ++writes_.failed;
+    }
+  };
+  auto read_done = [this, state, started](Result<ReadOutcome> r) {
+    if (state->stopped) return;
+    double latency = cluster_->simulator().Now() - started;
+    if (r.ok()) {
+      ++reads_.committed;
+      reads_.total_latency += latency;
+      reads_.max_latency = std::max(reads_.max_latency, latency);
+    } else {
+      ++reads_.failed;
+    }
+  };
+
+  if (rng_.Bernoulli(options_.write_fraction)) {
+    ++writes_.attempted;
+    switch (options_.stack) {
+      case Stack::kDynamicCoterie:
+        cluster_->Write(coordinator, object,
+                        Update::Partial(rng_.Uniform(options_.object_size),
+                                        {uint8_t(counter_++)}),
+                        write_done);
+        break;
+      case Stack::kStatic:
+        baseline::StartStaticWrite(
+            &cluster_->node(coordinator),
+            std::vector<uint8_t>(options_.object_size, uint8_t(counter_++)),
+            write_done);
+        break;
+      case Stack::kDynamicVoting:
+        baseline::StartDynamicVotingWrite(
+            &cluster_->node(coordinator),
+            std::vector<uint8_t>(options_.object_size, uint8_t(counter_++)),
+            write_done);
+        break;
+      case Stack::kAccessibleCopies:
+        baseline::StartAccessibleWrite(
+            &cluster_->node(coordinator),
+            Update::Partial(rng_.Uniform(options_.object_size),
+                            {uint8_t(counter_++)}),
+            write_done);
+        break;
+    }
+  } else {
+    ++reads_.attempted;
+    switch (options_.stack) {
+      case Stack::kDynamicCoterie:
+        cluster_->Read(coordinator, object, read_done);
+        break;
+      case Stack::kStatic:
+        baseline::StartStaticRead(&cluster_->node(coordinator), read_done);
+        break;
+      case Stack::kDynamicVoting:
+        baseline::StartDynamicVotingRead(&cluster_->node(coordinator),
+                                         read_done);
+        break;
+      case Stack::kAccessibleCopies:
+        baseline::StartAccessibleRead(&cluster_->node(coordinator),
+                                      read_done);
+        break;
+    }
+  }
+}
+
+}  // namespace dcp::harness

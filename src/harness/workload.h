@@ -1,0 +1,84 @@
+#ifndef DCP_HARNESS_WORKLOAD_H_
+#define DCP_HARNESS_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "protocol/cluster.h"
+#include "util/random.h"
+
+namespace dcp::harness {
+
+/// Latency/outcome statistics for one operation class.
+struct OpStats {
+  uint64_t attempted = 0;
+  uint64_t committed = 0;
+  uint64_t failed = 0;
+  double total_latency = 0;  ///< Simulated time, committed ops only.
+  double max_latency = 0;
+
+  double success_rate() const {
+    return attempted ? double(committed) / attempted : 0;
+  }
+  double mean_latency() const {
+    return committed ? total_latency / committed : 0;
+  }
+};
+
+/// Which protocol stack the workload drives.
+enum class Stack {
+  kDynamicCoterie,   ///< The paper's protocol (whatever rule the cluster has).
+  kStatic,           ///< baseline::StartStaticWrite/Read (total writes).
+  kDynamicVoting,    ///< baseline::StartDynamicVoting* (Jajodia-Mutchler).
+  kAccessibleCopies, ///< baseline::StartAccessible* (read-one/write-all).
+};
+
+/// An open-loop client population: operations arrive as a Poisson
+/// process; each picks a live coordinator uniformly, performs a read or
+/// a (partial) write on a random object, and records latency/outcome.
+/// No retries — the success rate *is* the availability the client sees.
+class WorkloadDriver {
+ public:
+  struct Options {
+    double arrival_rate = 0.01;  ///< Operations per unit of sim time.
+    double write_fraction = 0.5;
+    uint64_t seed = 2;
+    uint64_t object_size = 32;  ///< Partial writes patch 1 byte in this.
+    Stack stack = Stack::kDynamicCoterie;
+  };
+
+  /// Starts issuing operations immediately; runs until destroyed/stopped.
+  WorkloadDriver(protocol::Cluster* cluster, Options options);
+  ~WorkloadDriver() { Stop(); }
+  WorkloadDriver(const WorkloadDriver&) = delete;
+  WorkloadDriver& operator=(const WorkloadDriver&) = delete;
+
+  void Stop() {
+    if (state_) state_->stopped = true;
+  }
+
+  const OpStats& writes() const { return writes_; }
+  const OpStats& reads() const { return reads_; }
+
+ private:
+  struct Shared {
+    bool stopped = false;
+  };
+
+  void ArmNext();
+  void Issue();
+  NodeId PickLiveCoordinator();
+
+  protocol::Cluster* cluster_;
+  Options options_;
+  Rng rng_;
+  std::shared_ptr<Shared> state_;
+  OpStats writes_;
+  OpStats reads_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace dcp::harness
+
+#endif  // DCP_HARNESS_WORKLOAD_H_

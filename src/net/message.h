@@ -1,0 +1,59 @@
+#ifndef DCP_NET_MESSAGE_H_
+#define DCP_NET_MESSAGE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/node_set.h"
+#include "util/status.h"
+
+namespace dcp::net {
+
+/// Base class for all message payloads. Concrete request/response structs
+/// (defined by the protocol layers) derive from this; the network carries
+/// them type-erased and receivers downcast via `As<T>()` keyed on the
+/// message's `type` string.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Downcasts a payload. The caller asserts the type via the message's
+/// `type` tag; a mismatch is a programming error.
+template <typename T>
+const T& As(const PayloadPtr& p) {
+  assert(p != nullptr);
+  const T* typed = dynamic_cast<const T*>(p.get());
+  assert(typed != nullptr && "payload type mismatch");
+  return *typed;
+}
+
+/// Convenience for building payloads.
+template <typename T, typename... Args>
+PayloadPtr MakePayload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// A single message on the wire.
+struct Message {
+  enum class Kind {
+    kRequest,     ///< RPC request; `type` names the operation.
+    kResponse,    ///< RPC response to `rpc_id`; `status` is app-level.
+    kCallFailed,  ///< RPC.CallFailed notification delivered to the caller.
+  };
+
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  uint64_t rpc_id = 0;
+  Kind kind = Kind::kRequest;
+  std::string type;
+  PayloadPtr payload;
+  Status status;  ///< Application status for responses.
+};
+
+}  // namespace dcp::net
+
+#endif  // DCP_NET_MESSAGE_H_

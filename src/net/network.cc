@@ -1,0 +1,90 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dcp::net {
+
+void Network::Register(NodeId node, MessageSink* sink) {
+  sinks_[node] = sink;
+  up_[node] = true;
+  partition_group_[node] = 0;
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  auto it = up_.find(node);
+  assert(it != up_.end() && "unknown node");
+  it->second = up;
+}
+
+bool Network::IsUp(NodeId node) const {
+  auto it = up_.find(node);
+  return it != up_.end() && it->second;
+}
+
+void Network::SetPartitions(const std::vector<NodeSet>& groups) {
+  for (auto& [node, group] : partition_group_) group = 0;
+  uint32_t gid = 1;
+  for (const NodeSet& g : groups) {
+    for (NodeId n : g) {
+      auto it = partition_group_.find(n);
+      if (it != partition_group_.end()) it->second = gid;
+    }
+    ++gid;
+  }
+}
+
+void Network::HealPartitions() {
+  for (auto& [node, group] : partition_group_) group = 0;
+}
+
+bool Network::SameGroup(NodeId a, NodeId b) const {
+  auto ita = partition_group_.find(a);
+  auto itb = partition_group_.find(b);
+  if (ita == partition_group_.end() || itb == partition_group_.end()) {
+    return false;
+  }
+  return ita->second == itb->second;
+}
+
+bool Network::Reachable(NodeId a, NodeId b) const {
+  return IsUp(a) && IsUp(b) && SameGroup(a, b);
+}
+
+sim::Time Network::SampleLatency() {
+  return latency_.base + rng_.NextDouble() * latency_.jitter;
+}
+
+void Network::Send(Message msg, std::function<void()> on_failed) {
+  // A crashed node cannot emit messages (fail-stop).
+  if (!IsUp(msg.src)) return;
+  ++stats_.total_sent;
+  ++stats_.by_type[msg.type].sent;
+
+  sim::Time latency = SampleLatency();
+  NodeId src = msg.src;
+  NodeId dst = msg.dst;
+  std::string type = msg.type;
+  sim_->Schedule(latency, [this, msg = std::move(msg), src, dst,
+                           type = std::move(type),
+                           on_failed = std::move(on_failed)]() mutable {
+    // Delivery needs the destination alive and the link intact. The
+    // *sender* crashing after the send does not recall the message —
+    // it is already on the wire.
+    if (IsUp(dst) && SameGroup(src, dst)) {
+      ++stats_.total_delivered;
+      ++stats_.by_type[type].delivered;
+      ++stats_.delivered_to[dst];
+      auto it = sinks_.find(dst);
+      assert(it != sinks_.end());
+      it->second->Deliver(std::move(msg));
+    } else {
+      ++stats_.total_failed;
+      ++stats_.by_type[type].failed;
+      // Notify the sender side (if it is still alive to care).
+      if (on_failed && IsUp(src)) on_failed();
+    }
+  });
+}
+
+}  // namespace dcp::net

@@ -1,0 +1,107 @@
+#ifndef DCP_NET_NETWORK_H_
+#define DCP_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "util/node_set.h"
+#include "util/random.h"
+
+namespace dcp::net {
+
+/// Receives messages addressed to a node. Implemented by RpcRuntime.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void Deliver(Message msg) = 0;
+};
+
+/// Message latency model: uniform in [base, base + jitter].
+struct LatencyModel {
+  sim::Time base = 1.0;
+  sim::Time jitter = 0.5;
+};
+
+/// Per-message-type traffic counters.
+struct TypeStats {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t failed = 0;  ///< Undeliverable (down / partitioned destination).
+};
+
+/// Aggregate network statistics, for the message-traffic benches.
+struct NetworkStats {
+  uint64_t total_sent = 0;
+  uint64_t total_delivered = 0;
+  uint64_t total_failed = 0;
+  std::map<std::string, TypeStats> by_type;
+  std::map<NodeId, uint64_t> delivered_to;  ///< Load-sharing distribution.
+};
+
+/// The simulated network: node registry, up/down status, partitions,
+/// latency, and traffic accounting.
+///
+/// Fault model (Section 3 of the paper): nodes and links are fail-stop.
+/// A message is deliverable iff, *at delivery time*, both endpoints are up
+/// and in the same partition group. An undeliverable request surfaces to
+/// the sender as RPC.CallFailed (handled by RpcRuntime).
+class Network {
+ public:
+  Network(sim::Simulator* sim, Rng rng, LatencyModel latency = {})
+      : sim_(sim), rng_(rng), latency_(latency) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers `sink` for `node`. Nodes start up and fully connected.
+  void Register(NodeId node, MessageSink* sink);
+
+  /// Crash / repair. Crashing does not drop registration; it only makes
+  /// the node unreachable (fail-stop).
+  void SetNodeUp(NodeId node, bool up);
+  bool IsUp(NodeId node) const;
+
+  /// Installs a partitioning: each set is a connectivity group; nodes not
+  /// mentioned keep group 0. Overwrites any previous partitioning.
+  void SetPartitions(const std::vector<NodeSet>& groups);
+  /// Restores full connectivity.
+  void HealPartitions();
+
+  /// True iff a message from `a` could currently be delivered to `b`
+  /// (both up, same partition group).
+  bool Reachable(NodeId a, NodeId b) const;
+
+  /// True iff `a` and `b` are in the same partition group (regardless of
+  /// up/down status).
+  bool SameGroup(NodeId a, NodeId b) const;
+
+  /// Sends a message. Delivery (or loss) happens after a sampled latency.
+  /// If the message turns out undeliverable, `on_failed`, when provided,
+  /// fires at the sender side at the would-be delivery time — this is the
+  /// transport half of RPC.CallFailed.
+  void Send(Message msg, std::function<void()> on_failed = nullptr);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  sim::Simulator* simulator() { return sim_; }
+
+ private:
+  sim::Time SampleLatency();
+
+  sim::Simulator* sim_;
+  Rng rng_;
+  LatencyModel latency_;
+  std::map<NodeId, MessageSink*> sinks_;
+  std::map<NodeId, bool> up_;
+  std::map<NodeId, uint32_t> partition_group_;
+  NetworkStats stats_;
+};
+
+}  // namespace dcp::net
+
+#endif  // DCP_NET_NETWORK_H_

@@ -1,0 +1,142 @@
+#include "net/rpc.h"
+
+#include <cassert>
+
+namespace dcp::net {
+
+RpcRuntime::RpcRuntime(Network* network, NodeId self, sim::Time timeout)
+    : network_(network), self_(self), timeout_(timeout) {
+  network_->Register(self_, this);
+}
+
+void RpcRuntime::Call(NodeId dst, std::string type, PayloadPtr request,
+                      RpcCallback cb) {
+  uint64_t id = next_rpc_id_++;
+
+  Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.rpc_id = id;
+  msg.kind = Message::Kind::kRequest;
+  msg.type = type;
+  msg.payload = std::move(request);
+
+  sim::EventId timer = network_->simulator()->Schedule(timeout_, [this, id] {
+    Complete(id, RpcResult::CallFailed(
+                     Status::TimedOut("rpc timeout; treating as CallFailed")));
+  });
+  outstanding_[id] = Outstanding{std::move(cb), timer};
+
+  network_->Send(std::move(msg), [this, id] {
+    Complete(id, RpcResult::CallFailed(
+                     Status::CallFailed("destination unreachable")));
+  });
+}
+
+void RpcRuntime::AbortAll() {
+  for (auto& [id, out] : outstanding_) {
+    network_->simulator()->Cancel(out.timeout_event);
+  }
+  outstanding_.clear();
+}
+
+void RpcRuntime::Complete(uint64_t rpc_id, RpcResult result) {
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end()) return;  // Already completed or aborted.
+  RpcCallback cb = std::move(it->second.cb);
+  network_->simulator()->Cancel(it->second.timeout_event);
+  outstanding_.erase(it);
+  // A crashed caller never observes completions.
+  if (!network_->IsUp(self_)) return;
+  cb(std::move(result));
+}
+
+void RpcRuntime::Deliver(Message msg) {
+  if (!network_->IsUp(self_)) return;  // Crashed nodes receive nothing.
+  switch (msg.kind) {
+    case Message::Kind::kRequest: {
+      assert(service_ != nullptr && "node has no RpcService installed");
+      Result<PayloadPtr> result =
+          service_->HandleRequest(msg.src, msg.type, msg.payload);
+
+      Message reply;
+      reply.src = self_;
+      reply.dst = msg.src;
+      reply.rpc_id = msg.rpc_id;
+      reply.kind = Message::Kind::kResponse;
+      reply.type = msg.type + ".reply";
+      if (result.ok()) {
+        reply.payload = std::move(result).value();
+      } else {
+        reply.status = result.status();
+      }
+      // Lost replies surface at the caller via its timeout.
+      network_->Send(std::move(reply));
+      break;
+    }
+    case Message::Kind::kResponse: {
+      if (msg.status.ok()) {
+        Complete(msg.rpc_id, RpcResult::Ok(std::move(msg.payload)));
+      } else {
+        Complete(msg.rpc_id, RpcResult::AppError(std::move(msg.status)));
+      }
+      break;
+    }
+    case Message::Kind::kCallFailed:
+      // CallFailed is synthesized locally by the on_failed hook / timeout;
+      // nothing arrives on the wire with this kind.
+      break;
+  }
+}
+
+NodeSet GatherResult::Responded() const {
+  NodeSet out;
+  for (const auto& [node, r] : replies) {
+    if (!r.call_failed()) out.Insert(node);
+  }
+  return out;
+}
+
+NodeSet GatherResult::Succeeded() const {
+  NodeSet out;
+  for (const auto& [node, r] : replies) {
+    if (r.ok()) out.Insert(node);
+  }
+  return out;
+}
+
+namespace {
+
+struct GatherState {
+  uint32_t expected = 0;
+  GatherResult result;
+  std::function<void(GatherResult)> done;
+};
+
+}  // namespace
+
+void MulticastGather(RpcRuntime* runtime, const NodeSet& targets,
+                     std::string type, PayloadPtr request,
+                     std::function<void(GatherResult)> done) {
+  auto state = std::make_shared<GatherState>();
+  state->expected = targets.Size();
+  state->done = std::move(done);
+
+  if (state->expected == 0) {
+    // Complete asynchronously for uniform re-entrancy behaviour.
+    runtime->network()->simulator()->Schedule(
+        0, [state] { state->done(std::move(state->result)); });
+    return;
+  }
+
+  for (NodeId target : targets) {
+    runtime->Call(target, type, request, [state, target](RpcResult r) {
+      state->result.replies.emplace(target, std::move(r));
+      if (state->result.replies.size() == state->expected) {
+        state->done(std::move(state->result));
+      }
+    });
+  }
+}
+
+}  // namespace dcp::net

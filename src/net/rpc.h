@@ -1,0 +1,127 @@
+#ifndef DCP_NET_RPC_H_
+#define DCP_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/node_set.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dcp::net {
+
+/// Outcome of one RPC as observed by the caller.
+///
+/// `transport` distinguishes the paper's RPC.CallFailed (destination down,
+/// partitioned away, or response lost past the timeout) from an answer that
+/// arrived. When `transport` is OK, `app` carries the handler's status and
+/// `response` its payload.
+struct RpcResult {
+  Status transport;
+  Status app;
+  PayloadPtr response;
+
+  bool ok() const { return transport.ok() && app.ok(); }
+  bool call_failed() const { return !transport.ok(); }
+
+  static RpcResult CallFailed(Status s) {
+    RpcResult r;
+    r.transport = std::move(s);
+    return r;
+  }
+  static RpcResult Ok(PayloadPtr p) {
+    RpcResult r;
+    r.response = std::move(p);
+    return r;
+  }
+  static RpcResult AppError(Status s) {
+    RpcResult r;
+    r.app = std::move(s);
+    return r;
+  }
+};
+
+using RpcCallback = std::function<void(RpcResult)>;
+
+/// Server-side dispatch: each node installs one service that handles all
+/// request types addressed to it.
+class RpcService {
+ public:
+  virtual ~RpcService() = default;
+
+  /// Handles a request of the given `type` from node `from`. Returning a
+  /// non-OK status produces an application-level error response (still a
+  /// response — NOT RPC.CallFailed).
+  virtual Result<PayloadPtr> HandleRequest(NodeId from, const std::string& type,
+                                           const PayloadPtr& request) = 0;
+};
+
+/// Per-node RPC endpoint: issues calls with timeout + CallFailed semantics
+/// and dispatches incoming requests to the node's RpcService.
+class RpcRuntime : public MessageSink {
+ public:
+  /// `timeout` bounds how long a caller waits for a response before
+  /// synthesizing RPC.CallFailed.
+  RpcRuntime(Network* network, NodeId self, sim::Time timeout = 100.0);
+
+  NodeId self() const { return self_; }
+  Network* network() { return network_; }
+
+  void set_service(RpcService* service) { service_ = service; }
+
+  /// Issues an RPC. `cb` fires exactly once — with a response, an
+  /// application error, or a transport CallFailed — unless this node
+  /// crashes first (crash abandons all outstanding calls; see AbortAll).
+  void Call(NodeId dst, std::string type, PayloadPtr request, RpcCallback cb);
+
+  /// Abandons every outstanding call without invoking callbacks. Invoked
+  /// by the cluster harness when this node crashes: a fail-stop node's
+  /// in-flight coordinator work simply dies with it.
+  void AbortAll();
+
+  // MessageSink:
+  void Deliver(Message msg) override;
+
+ private:
+  struct Outstanding {
+    RpcCallback cb;
+    sim::EventId timeout_event;
+  };
+
+  void Complete(uint64_t rpc_id, RpcResult result);
+
+  Network* network_;
+  NodeId self_;
+  sim::Time timeout_;
+  RpcService* service_ = nullptr;
+  uint64_t next_rpc_id_ = 1;
+  std::map<uint64_t, Outstanding> outstanding_;
+};
+
+/// Result of a gather: per-target outcome, in target order.
+struct GatherResult {
+  std::map<NodeId, RpcResult> replies;
+
+  /// Targets whose transport succeeded (response or app error arrived).
+  NodeSet Responded() const;
+  /// Targets with an OK app-level response.
+  NodeSet Succeeded() const;
+};
+
+/// Multicasts `request` to every node in `targets` (per Section 4: no
+/// network multicast facility is assumed — this is a loop of sends) and
+/// invokes `done` once every target has a terminal outcome.
+void MulticastGather(RpcRuntime* runtime, const NodeSet& targets,
+                     std::string type, PayloadPtr request,
+                     std::function<void(GatherResult)> done);
+
+}  // namespace dcp::net
+
+#endif  // DCP_NET_RPC_H_

@@ -1,0 +1,159 @@
+#ifndef DCP_PROTOCOL_CLUSTER_H_
+#define DCP_PROTOCOL_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "coterie/coterie.h"
+#include "coterie/grid.h"
+#include "net/network.h"
+#include "protocol/epoch_daemon.h"
+#include "protocol/history.h"
+#include "protocol/operations.h"
+#include "protocol/replica_node.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace dcp::protocol {
+
+/// Which coterie rule the dynamic protocol runs over. The protocol of
+/// Section 4 is rule-agnostic; this is the generality the paper claims.
+enum class CoterieKind {
+  kGrid,             ///< Section 5's dynamic grid (with optimization).
+  kGridUnoptimized,  ///< Grid without the short-column optimization.
+  kGridColumnSafe,   ///< Grid with the corrected construction rule.
+  kMajority,         ///< Dynamic voting-style (Section 7).
+  kTree,             ///< Agrawal-El Abbadi tree quorums.
+  kHierarchical,     ///< Kumar's hierarchical quorum consensus.
+};
+
+/// Constructs a coterie rule instance by kind (caller owns it).
+std::unique_ptr<coterie::CoterieRule> MakeCoterieRule(CoterieKind kind);
+
+struct ClusterOptions {
+  uint32_t num_nodes = 9;
+  /// Data items in the replica group. All share one epoch; epoch checks
+  /// cover the group at once (Section 2's amortization).
+  uint32_t num_objects = 1;
+  CoterieKind coterie = CoterieKind::kGrid;
+  uint64_t seed = 1;
+  net::LatencyModel latency{1.0, 0.5};
+  std::vector<uint8_t> initial_value;  ///< Shared by all objects.
+  ReplicaNodeOptions node_options;
+  WriteOptions write_options;
+
+  /// Start the background epoch-check/election daemons on every node.
+  bool start_epoch_daemons = false;
+  EpochDaemonOptions daemon_options;
+};
+
+/// An in-simulator deployment of one replicated data item: N replica
+/// nodes, the network, optional epoch daemons, and a history recorder.
+/// This is the library's top-level entry point — examples, tests, and
+/// benches all drive the protocol through a Cluster.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  const coterie::CoterieRule& rule() const { return *rule_; }
+  ReplicaNode& node(NodeId id) { return *nodes_[id]; }
+  const ReplicaNode& node(NodeId id) const { return *nodes_[id]; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  NodeSet all_nodes() const { return NodeSet::Universe(num_nodes()); }
+  HistoryRecorder& history(storage::ObjectId object = 0) {
+    return histories_[object];
+  }
+  const ClusterOptions& options() const { return options_; }
+
+  // --- asynchronous client operations (coordinator = a replica node) ---
+  void Write(NodeId coordinator, storage::ObjectId object, Update update,
+             WriteDone done);
+  void Write(NodeId coordinator, Update update, WriteDone done) {
+    Write(coordinator, 0, std::move(update), std::move(done));
+  }
+  void Read(NodeId coordinator, storage::ObjectId object, ReadDone done);
+  void Read(NodeId coordinator, ReadDone done) {
+    Read(coordinator, 0, std::move(done));
+  }
+  void CheckEpoch(NodeId initiator, EpochCheckDone done);
+
+  // --- synchronous wrappers: run the simulation until the operation
+  //     completes (events after completion stay queued). ---
+  Result<WriteOutcome> WriteSync(NodeId coordinator, storage::ObjectId object,
+                                 Update update);
+  Result<WriteOutcome> WriteSync(NodeId coordinator, Update update) {
+    return WriteSync(coordinator, 0, std::move(update));
+  }
+  Result<ReadOutcome> ReadSync(NodeId coordinator,
+                               storage::ObjectId object = 0);
+  Status CheckEpochSync(NodeId initiator);
+
+  /// WriteSync with bounded retries on lock conflicts (randomized
+  /// backoff); the usual way clients drive writes.
+  Result<WriteOutcome> WriteSyncRetry(NodeId coordinator,
+                                      storage::ObjectId object, Update update,
+                                      int max_attempts);
+  Result<WriteOutcome> WriteSyncRetry(NodeId coordinator, Update update,
+                                      int max_attempts = 10) {
+    return WriteSyncRetry(coordinator, 0, std::move(update), max_attempts);
+  }
+  Result<ReadOutcome> ReadSyncRetry(NodeId coordinator,
+                                    storage::ObjectId object,
+                                    int max_attempts);
+  Result<ReadOutcome> ReadSyncRetry(NodeId coordinator,
+                                    int max_attempts = 10) {
+    return ReadSyncRetry(coordinator, 0, max_attempts);
+  }
+
+  // --- fault injection ---
+  void Crash(NodeId id);
+  void Recover(NodeId id);
+  void Partition(const std::vector<NodeSet>& groups);
+  void Heal();
+  NodeSet UpNodes() const;
+
+  /// Advances the simulation clock by `duration`.
+  void RunFor(sim::Time duration);
+
+  // --- invariant checking (test support) ---
+
+  /// Lemma-1 style epoch invariants, valid at quiescence (no prepared
+  /// transaction anywhere): nodes sharing an epoch number agree on the
+  /// epoch list and belong to it; only the highest epoch number present
+  /// can assemble a write quorum from its own members.
+  Status CheckEpochInvariants() const;
+
+  /// All non-stale replicas at the maximum version hold identical data;
+  /// stale replicas are strictly behind their desired version or awaiting
+  /// ClearStale.
+  Status CheckReplicaConsistency() const;
+
+  /// True iff no node currently has a prepared-but-undecided 2PC action.
+  bool Quiescent() const;
+
+  /// Runs the recorded history through the one-copy-serializability
+  /// checker.
+  Status CheckHistory() const;
+
+ private:
+  ClusterOptions options_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<coterie::CoterieRule> rule_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<ReplicaNode>> nodes_;
+  std::vector<std::unique_ptr<EpochDaemon>> daemons_;
+  std::map<storage::ObjectId, HistoryRecorder> histories_;
+};
+
+}  // namespace dcp::protocol
+
+#endif  // DCP_PROTOCOL_CLUSTER_H_

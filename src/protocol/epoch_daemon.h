@@ -1,0 +1,67 @@
+#ifndef DCP_PROTOCOL_EPOCH_DAEMON_H_
+#define DCP_PROTOCOL_EPOCH_DAEMON_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "protocol/messages.h"
+#include "protocol/replica_node.h"
+#include "sim/simulator.h"
+
+namespace dcp::protocol {
+
+struct EpochDaemonOptions {
+  /// Period of the "steady (albeit infrequent) pulse of epoch checking
+  /// operations" (Section 2). Only the elected leader actually runs them.
+  sim::Time check_interval = 300.0;
+
+  /// If a node hears nothing from a leader for this long, it campaigns
+  /// ("a new election would be started by any node noticing that epoch
+  /// checking has not run for a while", Section 4.3).
+  sim::Time leader_timeout = 900.0;
+};
+
+struct EpochDaemonStats {
+  uint64_t checks_run = 0;
+  uint64_t checks_failed = 0;
+  uint64_t elections_started = 0;
+  uint64_t leaderships_assumed = 0;
+};
+
+/// Per-node background task: elects the epoch-check initiator (bully
+/// election over the linearly ordered node names, per Garcia-Molina [7])
+/// and, on the leader, issues periodic CheckEpoch operations.
+class EpochDaemon {
+ public:
+  EpochDaemon(ReplicaNode* node, EpochDaemonOptions options = {});
+  ~EpochDaemon();
+  EpochDaemon(const EpochDaemon&) = delete;
+  EpochDaemon& operator=(const EpochDaemon&) = delete;
+
+  NodeId believed_leader() const { return believed_leader_; }
+  const EpochDaemonStats& stats() const { return stats_; }
+
+  /// Called by the cluster harness around fail-stop events.
+  void OnCrash();
+  void OnRecover();
+
+ private:
+  void Tick();
+  void Campaign();
+  void AssumeLeadership();
+  Result<net::PayloadPtr> HandleExtension(NodeId from, const std::string& type,
+                                          const net::PayloadPtr& request);
+
+  ReplicaNode* node_;
+  EpochDaemonOptions options_;
+  EpochDaemonStats stats_;
+  std::unique_ptr<sim::PeriodicTask> ticker_;
+  NodeId believed_leader_;
+  sim::Time last_leader_heard_ = 0;
+  bool check_in_flight_ = false;
+  bool campaigning_ = false;
+};
+
+}  // namespace dcp::protocol
+
+#endif  // DCP_PROTOCOL_EPOCH_DAEMON_H_

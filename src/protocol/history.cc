@@ -1,0 +1,75 @@
+#include "protocol/history.h"
+
+#include <algorithm>
+#include <string>
+
+#include "storage/versioned_object.h"
+
+namespace dcp::protocol {
+
+Status HistoryRecorder::CheckOneCopySerializable(
+    const std::vector<uint8_t>& initial_value) const {
+  // Order writes by version and check uniqueness + gaplessness.
+  std::vector<CommittedWrite> by_version = writes_;
+  std::sort(by_version.begin(), by_version.end(),
+            [](const CommittedWrite& a, const CommittedWrite& b) {
+              return a.version < b.version;
+            });
+  for (size_t i = 0; i < by_version.size(); ++i) {
+    storage::Version expected = static_cast<storage::Version>(i + 1);
+    if (by_version[i].version != expected) {
+      return Status::Internal(
+          "write versions not gapless/unique: slot " +
+          std::to_string(expected) + " holds version " +
+          std::to_string(by_version[i].version));
+    }
+  }
+
+  // Real-time order between writes: if w1 decided before w2's decision,
+  // w1.version < w2.version. (Writes hold quorum locks through their
+  // decision, so decision order is the serialization order.)
+  for (const CommittedWrite& w1 : writes_) {
+    for (const CommittedWrite& w2 : writes_) {
+      if (w1.decided_at < w2.decided_at && w1.version > w2.version) {
+        return Status::Internal(
+            "write real-time order violated: v" + std::to_string(w1.version) +
+            " decided at " + std::to_string(w1.decided_at) + " before v" +
+            std::to_string(w2.version) + " at " +
+            std::to_string(w2.decided_at));
+      }
+    }
+  }
+
+  // Replay to get the value at every version.
+  std::vector<std::vector<uint8_t>> value_at(by_version.size() + 1);
+  storage::VersionedObject replay(initial_value);
+  value_at[0] = replay.data();
+  for (size_t i = 0; i < by_version.size(); ++i) {
+    replay.Apply(by_version[i].update);
+    value_at[i + 1] = replay.data();
+  }
+
+  for (const CompletedRead& r : reads_) {
+    if (r.version > by_version.size()) {
+      return Status::Internal("read returned unknown version " +
+                              std::to_string(r.version));
+    }
+    if (r.data != value_at[r.version]) {
+      return Status::Internal("read at version " + std::to_string(r.version) +
+                              " returned data not matching the replay");
+    }
+    // Freshness: any write decided before this read began must be seen.
+    for (const CommittedWrite& w : writes_) {
+      if (w.decided_at < r.started_at && r.version < w.version) {
+        return Status::Internal(
+            "stale read: started at " + std::to_string(r.started_at) +
+            " returned v" + std::to_string(r.version) + " but v" +
+            std::to_string(w.version) + " was decided at " +
+            std::to_string(w.decided_at));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dcp::protocol

@@ -1,0 +1,70 @@
+#ifndef DCP_PROTOCOL_HISTORY_H_
+#define DCP_PROTOCOL_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/versioned_object.h"
+#include "util/node_set.h"
+#include "util/status.h"
+
+namespace dcp::protocol {
+
+/// Records committed operations and checks one-copy serializability,
+/// the consistency criterion of Section 3: the concurrent execution must
+/// be equivalent to a serial one, which for this protocol family reduces
+/// to (a) writes/reads mutually exclusive — visible here as a *total
+/// version order* with no duplicates — and (b) every read returning the
+/// most recent version.
+///
+/// Writes are recorded at the 2PC commit point (the coordinator's
+/// decision log), so writes whose coordinator crashed after deciding
+/// still appear — exactly the set of writes that may surface later.
+class HistoryRecorder {
+ public:
+  struct CommittedWrite {
+    storage::Version version = 0;  ///< Version the write produced.
+    storage::Update update;
+    sim::Time decided_at = 0;
+    NodeId coordinator = kInvalidNode;
+  };
+
+  struct CompletedRead {
+    storage::Version version = 0;
+    std::vector<uint8_t> data;
+    sim::Time started_at = 0;
+    sim::Time finished_at = 0;
+    NodeId coordinator = kInvalidNode;
+  };
+
+  void RecordWriteDecision(const CommittedWrite& write) {
+    writes_.push_back(write);
+  }
+  void RecordRead(const CompletedRead& read) { reads_.push_back(read); }
+
+  const std::vector<CommittedWrite>& writes() const { return writes_; }
+  const std::vector<CompletedRead>& reads() const { return reads_; }
+
+  /// Verifies the recorded history is one-copy serializable:
+  ///   - committed write versions are unique (no two writes serialized
+  ///     into the same slot) and form a gapless 1..K sequence;
+  ///   - the version order respects real time: a write decided before
+  ///     another started has the smaller version;
+  ///   - every read's (version, data) matches the replay of committed
+  ///     updates 1..version;
+  ///   - reads respect real time: a read started after a write was
+  ///     decided returns at least that write's version.
+  /// `initial_value` is the objects' shared starting contents.
+  Status CheckOneCopySerializable(
+      const std::vector<uint8_t>& initial_value) const;
+
+ private:
+  std::vector<CommittedWrite> writes_;
+  std::vector<CompletedRead> reads_;
+};
+
+}  // namespace dcp::protocol
+
+#endif  // DCP_PROTOCOL_HISTORY_H_

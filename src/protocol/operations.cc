@@ -1,0 +1,627 @@
+#include "protocol/operations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/rpc.h"
+#include "protocol/two_phase.h"
+#include "util/logging.h"
+
+namespace dcp::protocol {
+namespace {
+
+using net::GatherResult;
+
+using TupleMap = std::map<NodeId, ReplicaStateTuple>;
+
+NodeSet KeysOf(const TupleMap& tuples) {
+  NodeSet s;
+  for (const auto& [node, tuple] : tuples) s.Insert(node);
+  return s;
+}
+
+/// The response analysis every operation performs (Appendix): the epoch
+/// list of the maximum-epoch response, the maximum version among
+/// non-stale responses, and the maximum desired version among stale ones.
+struct Analysis {
+  EpochNumber max_epoch = 0;
+  NodeSet max_epoch_list;
+  std::optional<Version> max_version;  ///< Empty if all responses stale.
+  Version max_dversion = 0;
+
+  /// True iff a current replica answered: some non-stale response has a
+  /// version >= every stale response's desired version.
+  bool HasCurrentReplica() const {
+    return max_version.has_value() && *max_version >= max_dversion;
+  }
+};
+
+Analysis Analyze(const TupleMap& tuples) {
+  Analysis a;
+  for (const auto& [node, t] : tuples) {
+    if (t.enumber >= a.max_epoch) {
+      a.max_epoch = t.enumber;
+      a.max_epoch_list = t.elist;
+    }
+  }
+  for (const auto& [node, t] : tuples) {
+    if (t.stale) {
+      a.max_dversion = std::max(a.max_dversion, t.dversion);
+    } else if (!a.max_version || t.version > *a.max_version) {
+      a.max_version = t.version;
+    }
+  }
+  return a;
+}
+
+/// GOOD = non-stale responses with the maximum version; everyone else
+/// responded gets marked stale.
+NodeSet GoodSet(const TupleMap& tuples, Version max_version) {
+  NodeSet good;
+  for (const auto& [node, t] : tuples) {
+    if (!t.stale && t.version == max_version) good.Insert(node);
+  }
+  return good;
+}
+
+/// A selector mixing the coordinator id and operation id, so consecutive
+/// operations (and different coordinators) rotate across quorums.
+uint64_t SelectorFor(NodeId self, uint64_t op_id) {
+  uint64_t x = (static_cast<uint64_t>(self) << 32) ^ op_id;
+  x *= 0x9E3779B97F4A7C15ULL;
+  return x ^ (x >> 29);
+}
+
+/// Multicasts unlock for `owner` to `targets`, then runs `after`.
+void ReleaseLocks(ReplicaNode* node, const LockOwner& owner,
+                  const NodeSet& targets, std::function<void()> after) {
+  auto unlock = std::make_shared<UnlockRequest>();
+  unlock->owner = owner;
+  net::MulticastGather(&node->rpc(), targets, msg::kUnlock, unlock,
+                       [after = std::move(after)](GatherResult) { after(); });
+}
+
+// ---------------------------------------------------------------------------
+// Write.
+// ---------------------------------------------------------------------------
+
+class WriteOp : public std::enable_shared_from_this<WriteOp> {
+ public:
+  WriteOp(ReplicaNode* node, ObjectId object, Update update,
+          WriteOptions options, HistoryRecorder* history, WriteDone done)
+      : node_(node),
+        object_(object),
+        update_(std::move(update)),
+        options_(options),
+        history_(history),
+        done_(std::move(done)) {
+    owner_.coordinator = node_->self();
+    owner_.operation_id = node_->NextOperationId();
+    started_at_ = node_->simulator()->Now();
+  }
+
+  void Start() {
+    uint64_t selector = SelectorFor(owner_.coordinator, owner_.operation_id);
+    Result<NodeSet> quorum =
+        node_->rule().WriteQuorum(node_->epoch().list, selector);
+    if (!quorum.ok()) {
+      done_(quorum.status());
+      return;
+    }
+    auto self = shared_from_this();
+    LockNodes(*quorum, [self](bool) { self->EvaluateFirstRound(); });
+  }
+
+ private:
+  /// Locks `targets` exclusively, folding granted tuples into held_.
+  /// `next(saw_conflict)` runs when every target reached a terminal state.
+  void LockNodes(const NodeSet& targets, std::function<void(bool)> next) {
+    auto req = std::make_shared<LockRequest>();
+    req->owner = owner_;
+    req->mode = LockMode::kExclusive;
+    req->object = object_;
+    req->op_started = started_at_;  // Wound-wait seniority.
+    auto self = shared_from_this();
+    net::MulticastGather(
+        &node_->rpc(), targets, msg::kLock, req,
+        [self, next = std::move(next)](GatherResult g) {
+          bool conflict = false;
+          for (auto& [node, r] : g.replies) {
+            if (r.ok()) {
+              self->held_[node] = net::As<LockResponse>(r.response).state;
+            } else if (!r.call_failed()) {
+              conflict = true;
+            }
+          }
+          self->saw_conflict_ = self->saw_conflict_ || conflict;
+          next(conflict);
+        });
+  }
+
+  void EvaluateFirstRound() {
+    Analysis a = Analyze(held_);
+    if (!held_.empty() &&
+        node_->rule().IsWriteQuorum(a.max_epoch_list, KeysOf(held_)) &&
+        a.HasCurrentReplica()) {
+      CommitPhase(a);  // The common, failure-free case.
+    } else {
+      StartHeavyProcedure();
+    }
+  }
+
+  /// HeavyProcedure: extend the lock set to every replica node (keeping
+  /// the locks already held) and re-evaluate.
+  void StartHeavyProcedure() {
+    heavy_ = true;
+    NodeSet remaining = node_->all_nodes().Difference(KeysOf(held_));
+    auto self = shared_from_this();
+    LockNodes(remaining, [self](bool) {
+      Analysis a = Analyze(self->held_);
+      if (!self->held_.empty() &&
+          self->node_->rule().IsWriteQuorum(a.max_epoch_list,
+                                            KeysOf(self->held_)) &&
+          a.HasCurrentReplica()) {
+        self->CommitPhase(a);
+      } else if (!a.HasCurrentReplica() && !self->held_.empty() &&
+                 self->node_->rule().IsWriteQuorum(a.max_epoch_list,
+                                                   KeysOf(self->held_))) {
+        self->Fail(Status::StaleData("no current replica reachable"));
+      } else if (self->saw_conflict_) {
+        self->Fail(Status::Conflict("lock conflicts prevented a quorum"));
+      } else {
+        self->Fail(Status::Unavailable("no write quorum reachable"));
+      }
+    });
+  }
+
+  void CommitPhase(const Analysis& a) {
+    assert(a.max_version.has_value());
+    NodeSet good = GoodSet(held_, *a.max_version);
+    assert(!good.Empty());
+
+    // The safety-threshold extension ships complete post-write state to
+    // promoted replicas, which requires the current value. If this
+    // coordinator's replica is good, it has the value locally; otherwise
+    // fetch it from one good member (it is already locked by this
+    // operation, so one extra message suffices — the closest realization
+    // of the paper's "no additional rounds of message exchange").
+    bool need_promotion = options_.safety_threshold > good.Size();
+    if (need_promotion && !good.Contains(node_->self())) {
+      auto req = std::make_shared<FetchRequest>();
+      req->owner = owner_;
+      req->object = object_;
+      NodeId source = good.NthMember(0);
+      auto self = shared_from_this();
+      Analysis analysis = a;
+      node_->rpc().Call(source, msg::kFetch, req,
+                        [self, analysis](net::RpcResult r) {
+                          if (r.ok()) {
+                            self->FinishCommit(
+                                analysis,
+                                net::As<FetchResponse>(r.response).data);
+                          } else {
+                            // Promotion is best-effort; commit without it.
+                            self->FinishCommit(analysis, std::nullopt);
+                          }
+                        });
+      return;
+    }
+    FinishCommit(a, need_promotion
+                        ? std::optional<std::vector<uint8_t>>(
+                              node_->store(object_).object().data())
+                        : std::nullopt);
+  }
+
+  /// Builds the per-participant actions and runs 2PC. `base_value`, when
+  /// present, is the pre-write contents of a good replica, enabling
+  /// safety-threshold promotion.
+  void FinishCommit(const Analysis& a,
+                    std::optional<std::vector<uint8_t>> base_value) {
+    Version max_version = *a.max_version;
+    Version new_version = max_version + 1;
+    NodeSet good = GoodSet(held_, max_version);
+    NodeSet stale = KeysOf(held_).Difference(good);
+
+    // Helper: single-object staged action for this write's object.
+    auto one = [this](ObjectAction object_action) {
+      object_action.object = object_;
+      StagedAction staged;
+      staged.objects.push_back(std::move(object_action));
+      return staged;
+    };
+
+    std::map<NodeId, StagedAction> actions;
+    for (NodeId g : good) {
+      ObjectAction act;
+      act.apply_update = true;
+      act.update = update_;
+      act.update_target_version = new_version;
+      act.propagate_to = stale;  // Piggybacked stale list (Section 4.1).
+      actions[g] = one(std::move(act));
+    }
+    for (NodeId s : stale) {
+      ObjectAction act;
+      act.mark_stale = true;
+      act.desired_version = new_version;
+      actions[s] = one(std::move(act));
+    }
+
+    // Section 4.1 resilience extension: promote responded replicas into
+    // the good set (by shipping them the complete post-write state) until
+    // the new version lives on at least `safety_threshold` replicas. No
+    // extra permission round: they are already locked by this operation.
+    if (options_.safety_threshold > good.Size() && base_value.has_value()) {
+      storage::VersionedObject preview(std::move(*base_value));
+      preview.Apply(update_);
+      // Promote highest-version stale/old replicas first (cheapest to
+      // bring forward conceptually; all get the same snapshot).
+      std::vector<NodeId> candidates = stale.ToVector();
+      std::sort(candidates.begin(), candidates.end(),
+                [this](NodeId x, NodeId y) {
+                  return held_.at(x).version > held_.at(y).version;
+                });
+      uint32_t need = options_.safety_threshold - good.Size();
+      for (NodeId c : candidates) {
+        if (need == 0) break;
+        ObjectAction act;
+        act.install_snapshot = true;
+        act.snapshot_version = new_version;
+        act.snapshot = Update::Total(preview.data());
+        actions[c] = one(std::move(act));
+        stale.Erase(c);
+        --need;
+      }
+      // Refresh the stale lists the good replicas will propagate to.
+      for (NodeId g : good) {
+        actions[g].objects[0].propagate_to = stale;
+      }
+    }
+
+    auto self = shared_from_this();
+    TwoPhaseCommit::Run(
+        node_, owner_, std::move(actions),
+        [self, new_version](TxOutcome outcome) {
+          if (outcome == TxOutcome::kCommitted && self->history_ != nullptr) {
+            HistoryRecorder::CommittedWrite w;
+            w.version = new_version;
+            w.update = self->update_;
+            w.decided_at = self->node_->simulator()->Now();
+            w.coordinator = self->node_->self();
+            self->history_->RecordWriteDecision(w);
+          }
+        },
+        [self, new_version](Status s) {
+          if (s.ok()) {
+            self->done_(WriteOutcome{new_version});
+            return;
+          }
+          // "if-failed HeavyProcedure": the aborted 2PC released every
+          // lock, so the heavy retry starts from scratch — under a FRESH
+          // transaction id. Reusing the id would let a participant still
+          // staged from the aborted round (e.g. one that crashed through
+          // the abort) mistake the retry's commit decision for its own
+          // and apply the stale action.
+          self->held_.clear();
+          self->owner_.operation_id = self->node_->NextOperationId();
+          if (!self->heavy_) {
+            self->StartHeavyProcedure();
+          } else {
+            self->done_(s);
+          }
+        });
+  }
+
+  void Fail(Status status) {
+    auto self = shared_from_this();
+    ReleaseLocks(node_, owner_, KeysOf(held_),
+                 [self, status] { self->done_(status); });
+  }
+
+  ReplicaNode* node_;
+  ObjectId object_;
+  Update update_;
+  WriteOptions options_;
+  HistoryRecorder* history_;
+  WriteDone done_;
+  LockOwner owner_;
+  sim::Time started_at_ = 0;
+  TupleMap held_;
+  bool heavy_ = false;
+  bool saw_conflict_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Read.
+// ---------------------------------------------------------------------------
+
+class ReadOp : public std::enable_shared_from_this<ReadOp> {
+ public:
+  ReadOp(ReplicaNode* node, ObjectId object, HistoryRecorder* history,
+         ReadDone done)
+      : node_(node),
+        object_(object),
+        history_(history),
+        done_(std::move(done)) {
+    owner_.coordinator = node_->self();
+    owner_.operation_id = node_->NextOperationId();
+    started_at_ = node_->simulator()->Now();
+  }
+
+  void Start() {
+    uint64_t selector = SelectorFor(owner_.coordinator, owner_.operation_id);
+    Result<NodeSet> quorum =
+        node_->rule().ReadQuorum(node_->epoch().list, selector);
+    if (!quorum.ok()) {
+      done_(quorum.status());
+      return;
+    }
+    auto self = shared_from_this();
+    LockNodes(*quorum, [self] {
+      Analysis a = Analyze(self->held_);
+      if (!self->held_.empty() &&
+          self->node_->rule().IsReadQuorum(a.max_epoch_list,
+                                           KeysOf(self->held_)) &&
+          a.HasCurrentReplica()) {
+        self->Fetch(a);
+      } else {
+        self->StartHeavyRead();
+      }
+    });
+  }
+
+ private:
+  void LockNodes(const NodeSet& targets, std::function<void()> next) {
+    auto req = std::make_shared<LockRequest>();
+    req->owner = owner_;
+    req->mode = LockMode::kShared;
+    req->object = object_;
+    req->op_started = started_at_;  // Wound-wait seniority.
+    auto self = shared_from_this();
+    net::MulticastGather(&node_->rpc(), targets, msg::kLock, req,
+                         [self, next = std::move(next)](GatherResult g) {
+                           for (auto& [node, r] : g.replies) {
+                             if (r.ok()) {
+                               self->held_[node] =
+                                   net::As<LockResponse>(r.response).state;
+                             } else if (!r.call_failed()) {
+                               self->saw_conflict_ = true;
+                             }
+                           }
+                           next();
+                         });
+  }
+
+  void StartHeavyRead() {
+    heavy_ = true;
+    NodeSet remaining = node_->all_nodes().Difference(KeysOf(held_));
+    auto self = shared_from_this();
+    LockNodes(remaining, [self] {
+      Analysis a = Analyze(self->held_);
+      if (!self->held_.empty() &&
+          self->node_->rule().IsReadQuorum(a.max_epoch_list,
+                                           KeysOf(self->held_)) &&
+          a.HasCurrentReplica()) {
+        self->Fetch(a);
+      } else if (self->saw_conflict_) {
+        self->Fail(Status::Conflict("lock conflicts prevented a quorum"));
+      } else {
+        self->Fail(Status::Unavailable("no read quorum with a current "
+                                       "replica reachable"));
+      }
+    });
+  }
+
+  void Fetch(const Analysis& a) {
+    Version version = *a.max_version;
+    NodeSet good = GoodSet(held_, version);
+    assert(!good.Empty());
+    // Load sharing: rotate the fetch target across good replicas.
+    uint64_t selector = SelectorFor(owner_.coordinator, owner_.operation_id);
+    NodeId target = good.NthMember(
+        static_cast<uint32_t>(selector % good.Size()));
+    auto req = std::make_shared<FetchRequest>();
+    req->owner = owner_;
+    req->object = object_;
+    auto self = shared_from_this();
+    node_->rpc().Call(target, msg::kFetch, req,
+                      [self, version](net::RpcResult r) {
+                        if (!r.ok()) {
+                          self->Fail(r.call_failed() ? r.transport : r.app);
+                          return;
+                        }
+                        const auto& resp = net::As<FetchResponse>(r.response);
+                        assert(resp.version == version &&
+                               "locked replica changed under a read");
+                        ReadOutcome out;
+                        out.version = resp.version;
+                        out.data = resp.data;
+                        self->Finish(std::move(out));
+                      });
+  }
+
+  void Finish(ReadOutcome out) {
+    if (history_ != nullptr) {
+      HistoryRecorder::CompletedRead r;
+      r.version = out.version;
+      r.data = out.data;
+      r.started_at = started_at_;
+      r.finished_at = node_->simulator()->Now();
+      r.coordinator = node_->self();
+      history_->RecordRead(r);
+    }
+    auto self = shared_from_this();
+    ReleaseLocks(node_, owner_, KeysOf(held_),
+                 [self, out = std::move(out)] { self->done_(out); });
+  }
+
+  void Fail(Status status) {
+    auto self = shared_from_this();
+    ReleaseLocks(node_, owner_, KeysOf(held_),
+                 [self, status] { self->done_(status); });
+  }
+
+  ReplicaNode* node_;
+  ObjectId object_;
+  HistoryRecorder* history_;
+  ReadDone done_;
+  LockOwner owner_;
+  sim::Time started_at_ = 0;
+  TupleMap held_;
+  bool heavy_ = false;
+  bool saw_conflict_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Epoch checking.
+// ---------------------------------------------------------------------------
+
+class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
+ public:
+  EpochCheckOp(ReplicaNode* node, EpochCheckDone done)
+      : node_(node), done_(std::move(done)) {
+    owner_.coordinator = node_->self();
+    owner_.operation_id = node_->NextOperationId();
+  }
+
+  void Start() {
+    auto self = shared_from_this();
+    net::MulticastGather(
+        &node_->rpc(), node_->all_nodes(), msg::kEpochPoll,
+        net::MakePayload<EpochPollRequest>(), [self](GatherResult g) {
+          std::map<NodeId, EpochPollResponse> responded;
+          for (auto& [node, r] : g.replies) {
+            if (r.ok()) {
+              responded[node] = net::As<EpochPollResponse>(r.response);
+            }
+          }
+          self->Evaluate(std::move(responded));
+        });
+  }
+
+ private:
+  void Evaluate(std::map<NodeId, EpochPollResponse> responded) {
+    if (responded.empty()) {
+      done_(Status::Unavailable("no replica responded to the epoch poll"));
+      return;
+    }
+    // The epoch part of the analysis spans the whole group.
+    EpochNumber max_epoch = 0;
+    NodeSet max_epoch_list;
+    NodeSet new_epoch;
+    for (const auto& [node, resp] : responded) {
+      new_epoch.Insert(node);
+      if (resp.enumber >= max_epoch) {
+        max_epoch = resp.enumber;
+        max_epoch_list = resp.elist;
+      }
+    }
+    if (!node_->rule().IsWriteQuorum(max_epoch_list, new_epoch)) {
+      done_(Status::Unavailable(
+          "respondents do not include a write quorum of epoch " +
+          std::to_string(max_epoch)));
+      return;
+    }
+    if (new_epoch == max_epoch_list) {
+      done_(Status::OK());  // Nothing changed since the last check.
+      return;
+    }
+
+    // Per-object analysis: the new epoch may only be installed if EVERY
+    // object of the group has a current replica among the respondents.
+    // (Skipping the stale marking for just one object would leave
+    // obsolete non-stale replicas inside the new epoch, breaking the
+    // Lemma 3 argument for that object; the pseudocode's guard is the
+    // single-object special case of this rule.)
+    struct ObjectAnalysis {
+      std::optional<Version> max_version;
+      Version max_dversion = 0;
+      NodeSet good;
+    };
+    std::map<ObjectId, ObjectAnalysis> by_object;
+    for (const auto& [node, resp] : responded) {
+      for (const ObjectStateTuple& t : resp.objects) {
+        ObjectAnalysis& oa = by_object[t.object];
+        if (t.stale) {
+          oa.max_dversion = std::max(oa.max_dversion, t.dversion);
+        } else if (!oa.max_version || t.version > *oa.max_version) {
+          oa.max_version = t.version;
+        }
+      }
+    }
+    for (auto& [object, oa] : by_object) {
+      if (!oa.max_version.has_value() || *oa.max_version < oa.max_dversion) {
+        done_(Status::StaleData(
+            "object " + std::to_string(object) +
+            " has no current replica among respondents; epoch unchanged"));
+        return;
+      }
+      for (const auto& [node, resp] : responded) {
+        for (const ObjectStateTuple& t : resp.objects) {
+          if (t.object == object && !t.stale &&
+              t.version == *oa.max_version) {
+            oa.good.Insert(node);
+          }
+        }
+      }
+    }
+
+    // One 2PC installs the epoch for the whole group and carries each
+    // object's mark-stale / propagation duty — the amortization the
+    // paper promises for data items sharing a node set.
+    std::map<NodeId, StagedAction> actions;
+    for (NodeId member : new_epoch) {
+      StagedAction act;
+      act.install_epoch = true;
+      act.epoch_number = max_epoch + 1;
+      act.epoch_list = new_epoch;
+      for (const auto& [object, oa] : by_object) {
+        ObjectAction obj;
+        obj.object = object;
+        if (oa.good.Contains(member)) {
+          obj.propagate_to = new_epoch.Difference(oa.good);
+        } else {
+          obj.mark_stale = true;
+          obj.desired_version = *oa.max_version;
+        }
+        if (obj.mark_stale || !obj.propagate_to.Empty()) {
+          act.objects.push_back(std::move(obj));
+        }
+      }
+      actions[member] = std::move(act);
+    }
+    auto self = shared_from_this();
+    TwoPhaseCommit::Run(node_, owner_, std::move(actions), nullptr,
+                        [self](Status s) { self->done_(s); });
+  }
+
+  ReplicaNode* node_;
+  EpochCheckDone done_;
+  LockOwner owner_;
+};
+
+}  // namespace
+
+void StartWrite(ReplicaNode* node, storage::ObjectId object, Update update,
+                WriteOptions options, HistoryRecorder* history,
+                WriteDone done) {
+  auto op = std::make_shared<WriteOp>(node, object, std::move(update),
+                                      options, history, std::move(done));
+  op->Start();
+}
+
+void StartRead(ReplicaNode* node, storage::ObjectId object,
+               HistoryRecorder* history, ReadDone done) {
+  auto op = std::make_shared<ReadOp>(node, object, history, std::move(done));
+  op->Start();
+}
+
+void StartEpochCheck(ReplicaNode* node, EpochCheckDone done) {
+  auto op = std::make_shared<EpochCheckOp>(node, std::move(done));
+  op->Start();
+}
+
+}  // namespace dcp::protocol

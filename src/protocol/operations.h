@@ -1,0 +1,91 @@
+#ifndef DCP_PROTOCOL_OPERATIONS_H_
+#define DCP_PROTOCOL_OPERATIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "protocol/history.h"
+#include "protocol/messages.h"
+#include "protocol/replica_node.h"
+#include "util/result.h"
+
+namespace dcp::protocol {
+
+/// Result of a successful write: the version it produced.
+struct WriteOutcome {
+  Version version = 0;
+};
+using WriteDone = std::function<void(Result<WriteOutcome>)>;
+
+/// Result of a successful read.
+struct ReadOutcome {
+  Version version = 0;
+  std::vector<uint8_t> data;
+};
+using ReadDone = std::function<void(Result<ReadOutcome>)>;
+
+using EpochCheckDone = std::function<void(Status)>;
+
+struct WriteOptions {
+  /// Section 4.1's resilience extension: if fewer than this many "good"
+  /// replicas would carry the new version, the coordinator additionally
+  /// applies the write to other responded replicas (promoting them into
+  /// the GOOD set by shipping them the full state) so that fewer than
+  /// `safety_threshold` simultaneous failures can never lose the only
+  /// current copy. 0 disables the extension (the paper's base protocol).
+  uint32_t safety_threshold = 0;
+};
+
+/// Starts the paper's Write algorithm (Appendix) from `node` as
+/// coordinator:
+///
+///   1. lock a write quorum over the local epoch list (the quorum
+///      function spreads quorums across coordinators);
+///   2. if the granted responses include a write quorum over the epoch
+///      list of the maximum-epoch response *and* contain a current
+///      replica (max desired version <= max version): 2PC a "do-update"
+///      to the good replicas (piggybacking the stale list for
+///      propagation) and "mark-stale" to the rest;
+///   3. otherwise fall back to HeavyProcedure: lock *all* remaining
+///      nodes, re-evaluate, and either commit as above or abort.
+///
+/// Lock conflicts abort the attempt with kConflict (the caller retries
+/// with backoff — see Cluster::Write). `history` may be null. `object`
+/// selects the data item within the node's replica group.
+void StartWrite(ReplicaNode* node, storage::ObjectId object, Update update,
+                WriteOptions options, HistoryRecorder* history,
+                WriteDone done);
+
+inline void StartWrite(ReplicaNode* node, Update update, WriteOptions options,
+                       HistoryRecorder* history, WriteDone done) {
+  StartWrite(node, 0, std::move(update), options, history, std::move(done));
+}
+
+/// The read protocol: "similar to the write protocol except it does not
+/// update any replicas" (Section 4). Locks a read quorum (shared),
+/// verifies it saw a current replica, fetches the data from one good
+/// replica, and unlocks. Falls back to polling all nodes when the local
+/// epoch list was out of date or no current replica answered.
+void StartRead(ReplicaNode* node, storage::ObjectId object,
+               HistoryRecorder* history, ReadDone done);
+
+inline void StartRead(ReplicaNode* node, HistoryRecorder* history,
+                      ReadDone done) {
+  StartRead(node, 0, history, std::move(done));
+}
+
+/// The epoch-checking operation (Section 4.3 / Appendix CheckEpoch):
+/// polls all replicas; if the respondents include a write quorum over the
+/// newest epoch among them and differ from it, atomically installs the
+/// respondents as the new epoch (2PC), marking out-of-date members stale
+/// and putting the current ones on propagation duty.
+///
+/// Returns OK both when the epoch changed and when no change was needed;
+/// kUnavailable when no quorum of the newest epoch responded (the data
+/// object is stuck until enough of its last epoch returns).
+void StartEpochCheck(ReplicaNode* node, EpochCheckDone done);
+
+}  // namespace dcp::protocol
+
+#endif  // DCP_PROTOCOL_OPERATIONS_H_

@@ -1,0 +1,645 @@
+#include "protocol/replica_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace dcp::protocol {
+
+using net::MakePayload;
+using net::PayloadPtr;
+
+ReplicaNode::ReplicaNode(net::Network* network, NodeId self,
+                         NodeSet all_nodes, const coterie::CoterieRule* rule,
+                         std::vector<std::vector<uint8_t>> initial_values,
+                         ReplicaNodeOptions options)
+    : rpc_(network, self, options.rpc_timeout),
+      self_(self),
+      epoch_(std::make_shared<storage::EpochRecord>(
+          storage::EpochRecord{0, all_nodes})),
+      all_nodes_(std::move(all_nodes)),
+      rule_(rule),
+      options_(options) {
+  assert(!initial_values.empty());
+  for (ObjectId id = 0; id < initial_values.size(); ++id) {
+    objects_.emplace(
+        id, storage::ReplicaStore(self, epoch_,
+                                  std::move(initial_values[id])));
+  }
+  rpc_.set_service(this);
+}
+
+void ReplicaNode::Crash() {
+  rpc_.AbortAll();
+  for (auto& [id, store] : objects_) store.Crash();
+  lock_acquired_at_.clear();
+  op_started_at_.clear();
+  propagation_scheduled_ = false;
+  propagation_round_active_ = false;
+  ++termination_epoch_;
+  // Transactions this node was coordinating die undecided. Their
+  // participants resolve via presumed abort once we answer outcome
+  // queries again ("no record, not deciding" => abort).
+  coordinating_.clear();
+}
+
+void ReplicaNode::Recover() {
+  ++termination_epoch_;
+  for (const auto& [key, staged] : staged_) ArmTerminationTimer(staged.owner);
+  if (HasPendingPropagation()) {
+    SchedulePropagation(options_.propagation_start_delay);
+  }
+}
+
+ReplicaStateTuple ReplicaNode::StateTuple(ObjectId object) const {
+  const storage::ReplicaStore& store = objects_.at(object);
+  ReplicaStateTuple t;
+  t.node = self_;
+  t.version = store.version();
+  t.dversion = store.desired_version();
+  t.stale = store.stale();
+  t.elist = epoch_->list;
+  t.enumber = epoch_->number;
+  return t;
+}
+
+void ReplicaNode::BeginCoordinatedTx(const LockOwner& tx) {
+  coordinating_[KeyOf(tx)] = true;
+}
+
+void ReplicaNode::DecideCoordinatedTx(const LockOwner& tx, TxOutcome outcome) {
+  // The commit point: the decision is logged persistently before any
+  // phase-2 message leaves this node.
+  RecordOutcome(tx, outcome);
+  coordinating_.erase(KeyOf(tx));
+}
+
+TxOutcome ReplicaNode::LookupOutcome(const LockOwner& tx) const {
+  auto it = outcomes_.find(KeyOf(tx));
+  return it == outcomes_.end() ? TxOutcome::kUnknown : it->second;
+}
+
+void ReplicaNode::RecordOutcome(const LockOwner& tx, TxOutcome outcome) {
+  outcomes_[KeyOf(tx)] = outcome;
+}
+
+bool ReplicaNode::LockIsStaged(const LockOwner& owner) const {
+  return staged_.count(KeyOf(owner)) > 0;
+}
+
+Status ReplicaNode::TryLock(ObjectId object, const LockOwner& owner,
+                            bool exclusive, sim::Time op_started) {
+  storage::ReplicaStore& store = objects_.at(object);
+  Status s = store.Lock(owner, exclusive);
+  if (!s.ok()) {
+    sim::Time now = simulator()->Now();
+    // Lease stealing: an expired, non-staged lock belongs to a
+    // coordinator that died between its lock round and 2PC; break it.
+    auto expired = [&](const LockOwner& holder) {
+      if (!holder.valid() || LockIsStaged(holder)) return false;
+      auto it = lock_acquired_at_.find(KeyOf(holder));
+      return it == lock_acquired_at_.end() ||
+             now - it->second >= options_.lock_lease;
+    };
+    // Wound-wait: an older operation wounds younger, non-staged holders
+    // (a holder whose start time is unknown counts as old).
+    auto woundable = [&](const LockOwner& holder) {
+      if (options_.lock_policy != LockPolicy::kWoundWait) return false;
+      if (op_started <= 0) return false;
+      if (!holder.valid() || LockIsStaged(holder)) return false;
+      auto it = op_started_at_.find(KeyOf(holder));
+      if (it == op_started_at_.end()) return false;
+      return op_started < it->second;
+    };
+    std::vector<LockOwner> evict;
+    auto consider = [&](const LockOwner& holder) {
+      if (!holder.valid()) return;
+      if (expired(holder) || woundable(holder)) evict.push_back(holder);
+    };
+    consider(store.exclusive_owner());
+    for (const LockOwner& holder : store.shared_owners()) consider(holder);
+    for (const LockOwner& victim : evict) {
+      store.Unlock(victim);
+      ++stats_.lock_steals;
+    }
+    if (!evict.empty()) s = store.Lock(owner, exclusive);
+  }
+  if (s.ok()) {
+    lock_acquired_at_[KeyOf(owner)] = simulator()->Now();
+    if (op_started > 0) op_started_at_[KeyOf(owner)] = op_started;
+    ++stats_.locks_granted;
+  } else {
+    ++stats_.lock_conflicts;
+  }
+  return s;
+}
+
+void ReplicaNode::UnlockEverywhere(const LockOwner& owner) {
+  for (auto& [id, store] : objects_) store.Unlock(owner);
+  lock_acquired_at_.erase(KeyOf(owner));
+  op_started_at_.erase(KeyOf(owner));
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch.
+// ---------------------------------------------------------------------------
+
+Result<PayloadPtr> ReplicaNode::HandleRequest(NodeId from,
+                                              const std::string& type,
+                                              const PayloadPtr& request) {
+  if (type == msg::kLock) return HandleLock(from, net::As<LockRequest>(request));
+  if (type == msg::kUnlock) return HandleUnlock(net::As<UnlockRequest>(request));
+  if (type == msg::kFetch) return HandleFetch(net::As<FetchRequest>(request));
+  if (type == msg::kPrepare) {
+    return HandlePrepare(net::As<PrepareRequest>(request));
+  }
+  if (type == msg::kCommit) return HandleCommit(net::As<CommitRequest>(request));
+  if (type == msg::kAbort) return HandleAbort(net::As<AbortRequest>(request));
+  if (type == msg::kOutcome) {
+    return HandleOutcome(net::As<OutcomeRequest>(request));
+  }
+  if (type == msg::kEpochPoll) return HandleEpochPoll();
+  if (type == msg::kPropOffer) {
+    return HandlePropOffer(from, net::As<PropagationOffer>(request));
+  }
+  if (type == msg::kPropData) {
+    return HandlePropData(from, net::As<PropagationData>(request));
+  }
+  if (extension_handler_) return extension_handler_(from, type, request);
+  return Status::InvalidArgument("unknown request type: " + type);
+}
+
+Result<PayloadPtr> ReplicaNode::HandleLock(NodeId /*from*/,
+                                           const LockRequest& req) {
+  if (objects_.count(req.object) == 0) {
+    return Status::NotFound("no such object");
+  }
+  Status s = TryLock(req.object, req.owner,
+                     req.mode == LockMode::kExclusive, req.op_started);
+  if (!s.ok()) return s;
+  auto resp = std::make_shared<LockResponse>();
+  resp->state = StateTuple(req.object);
+  return PayloadPtr(std::move(resp));
+}
+
+Result<PayloadPtr> ReplicaNode::HandleUnlock(const UnlockRequest& req) {
+  // Never release a lock pinned by a prepared transaction; the 2PC
+  // outcome will release it.
+  if (!LockIsStaged(req.owner)) UnlockEverywhere(req.owner);
+  return PayloadPtr(MakePayload<AckResponse>());
+}
+
+Result<PayloadPtr> ReplicaNode::HandleFetch(const FetchRequest& req) {
+  if (objects_.count(req.object) == 0) {
+    return Status::NotFound("no such object");
+  }
+  const storage::ReplicaStore& store = objects_.at(req.object);
+  if (!store.HoldsLock(req.owner)) {
+    return Status::Conflict("fetch without lock (lease stolen?)");
+  }
+  auto resp = std::make_shared<FetchResponse>();
+  resp->version = store.version();
+  resp->data = store.object().data();
+  return PayloadPtr(std::move(resp));
+}
+
+Result<PayloadPtr> ReplicaNode::HandlePrepare(const PrepareRequest& req) {
+  // Concurrent prepared transactions are fine as long as their lock
+  // footprints are disjoint (the TryLock calls below enforce that);
+  // e.g. writes to different objects of the group stage independently.
+  // Determine the lock footprint: epoch installs cover every object of
+  // the group (the change must be atomic w.r.t. all reads and writes);
+  // plain writes cover the objects they touch.
+  std::vector<ObjectId> footprint;
+  if (req.action.install_epoch) {
+    for (const auto& [id, store] : objects_) footprint.push_back(id);
+  } else {
+    for (const ObjectAction& act : req.action.objects) {
+      footprint.push_back(act.object);
+    }
+  }
+  // Writes already hold their exclusive lock from the lock round (lock
+  // is re-entrant); epoch changes acquire theirs here. On any conflict,
+  // release what this attempt acquired and refuse.
+  std::vector<ObjectId> newly_locked;
+  for (ObjectId object : footprint) {
+    if (objects_.count(object) == 0) {
+      return Status::NotFound("prepare names unknown object");
+    }
+    bool held_before = objects_.at(object).HoldsLock(req.owner);
+    Status s = TryLock(object, req.owner, /*exclusive=*/true);
+    if (!s.ok()) {
+      for (ObjectId locked : newly_locked) {
+        objects_.at(locked).Unlock(req.owner);
+      }
+      return s;
+    }
+    if (!held_before) newly_locked.push_back(object);
+  }
+
+  staged_[KeyOf(req.owner)] = Staged{req.owner, req.action,
+                                     req.participants};
+  ++stats_.prepares;
+  ArmTerminationTimer(req.owner);
+  return PayloadPtr(MakePayload<AckResponse>());
+}
+
+Result<PayloadPtr> ReplicaNode::HandleCommit(const CommitRequest& req) {
+  if (staged_.count(KeyOf(req.owner)) > 0) {
+    CommitStaged(req.owner);
+  } else {
+    // Duplicate or post-termination commit; remember the outcome anyway.
+    RecordOutcome(req.owner, TxOutcome::kCommitted);
+  }
+  return PayloadPtr(MakePayload<AckResponse>());
+}
+
+Result<PayloadPtr> ReplicaNode::HandleAbort(const AbortRequest& req) {
+  if (staged_.count(KeyOf(req.owner)) > 0) {
+    AbortStaged(req.owner);
+  } else {
+    RecordOutcome(req.owner, TxOutcome::kAborted);
+    UnlockEverywhere(req.owner);
+  }
+  return PayloadPtr(MakePayload<AckResponse>());
+}
+
+Result<PayloadPtr> ReplicaNode::HandleOutcome(const OutcomeRequest& req) {
+  auto resp = std::make_shared<OutcomeResponse>();
+  resp->outcome = LookupOutcome(req.owner);
+  resp->is_coordinator = req.owner.coordinator == self();
+  resp->in_progress =
+      resp->is_coordinator && coordinating_.count(KeyOf(req.owner)) > 0;
+  return PayloadPtr(std::move(resp));
+}
+
+Result<PayloadPtr> ReplicaNode::HandleEpochPoll() {
+  auto resp = std::make_shared<EpochPollResponse>();
+  resp->node = self_;
+  resp->enumber = epoch_->number;
+  resp->elist = epoch_->list;
+  for (const auto& [id, store] : objects_) {
+    ObjectStateTuple t;
+    t.object = id;
+    t.version = store.version();
+    t.dversion = store.desired_version();
+    t.stale = store.stale();
+    resp->objects.push_back(t);
+  }
+  return PayloadPtr(std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// 2PC participant: commit / abort / cooperative termination.
+// ---------------------------------------------------------------------------
+
+void ReplicaNode::CommitStaged(const LockOwner& tx) {
+  auto it = staged_.find(KeyOf(tx));
+  assert(it != staged_.end());
+  Staged staged = std::move(it->second);
+  staged_.erase(it);
+  RecordOutcome(staged.owner, TxOutcome::kCommitted);
+  ++stats_.commits;
+
+  const StagedAction& action = staged.action;
+  if (action.install_epoch) {
+    epoch_->number = action.epoch_number;
+    epoch_->list = action.epoch_list;
+  }
+  for (const ObjectAction& act : action.objects) {
+    storage::ReplicaStore& store = objects_.at(act.object);
+    if (act.apply_update) {
+      // "do-update": performs the write, incrementing the version to
+      // exactly the transaction's target. A replica that already reached
+      // (or passed) the target — it committed late, after propagation
+      // from a peer that had applied this very update caught it up —
+      // must skip: re-applying would mint a phantom version with
+      // out-of-order contents. (Staging pinned the version at target-1,
+      // and versions never regress, so "below target-1" cannot happen.)
+      assert(store.version() + 1 >= act.update_target_version);
+      if (store.version() + 1 == act.update_target_version) {
+        store.object().Apply(act.update);
+        store.ClearStale();
+      }
+    }
+    if (act.install_snapshot) {
+      // Safety-threshold promotion / total write: current outright.
+      // Skip if this replica already advanced to or past the snapshot
+      // (same late-commit reasoning as above).
+      if (store.version() < act.snapshot_version) {
+        store.object().InstallSnapshot(act.snapshot_version, act.snapshot);
+        store.ClearStale();
+      }
+    }
+    if (act.mark_stale) {
+      // "mark-stale": desired version numbers only ever grow, and a
+      // replica that already reached the desired version (late commit
+      // after propagation) must not be re-marked.
+      Version dv = act.desired_version;
+      if (store.stale()) dv = std::max(dv, store.desired_version());
+      if (store.version() < dv) store.MarkStale(dv);
+    }
+    if (!act.propagate_to.Empty()) {
+      AddPropagationTargets(act.object, act.propagate_to);
+    }
+  }
+  UnlockEverywhere(staged.owner);
+}
+
+void ReplicaNode::AbortStaged(const LockOwner& tx) {
+  auto it = staged_.find(KeyOf(tx));
+  assert(it != staged_.end());
+  Staged staged = std::move(it->second);
+  staged_.erase(it);
+  RecordOutcome(staged.owner, TxOutcome::kAborted);
+  ++stats_.aborts;
+  UnlockEverywhere(staged.owner);
+}
+
+void ReplicaNode::ArmTerminationTimer(const LockOwner& tx) {
+  uint64_t epoch = termination_epoch_;
+  simulator()->Schedule(options_.termination_poll_interval,
+                        [this, epoch, tx] {
+                          if (epoch != termination_epoch_) return;
+                          if (!rpc_.network()->IsUp(self())) return;
+                          if (staged_.count(KeyOf(tx)) == 0) return;
+                          RunTerminationProtocol(tx);
+                        });
+}
+
+void ReplicaNode::RunTerminationProtocol(const LockOwner& tx) {
+  auto it = staged_.find(KeyOf(tx));
+  assert(it != staged_.end());
+  ++stats_.termination_polls;
+  NodeSet peers = it->second.participants;
+  peers.Erase(self());
+
+  auto outcome_req = std::make_shared<OutcomeRequest>();
+  outcome_req->owner = tx;
+
+  // Step 1: ask the coordinator.
+  rpc_.Call(tx.coordinator, msg::kOutcome, outcome_req,
+            [this, tx, peers, outcome_req](net::RpcResult r) {
+              if (staged_.count(KeyOf(tx)) == 0) return;
+              if (r.ok()) {
+                const auto& resp = net::As<OutcomeResponse>(r.response);
+                if (resp.outcome == TxOutcome::kCommitted) {
+                  CommitStaged(tx);
+                  return;
+                }
+                if (resp.outcome == TxOutcome::kAborted) {
+                  AbortStaged(tx);
+                  return;
+                }
+                if (resp.is_coordinator && !resp.in_progress) {
+                  // Presumed abort: the coordinator logs its decision
+                  // before sending phase 2, so "no record, not deciding"
+                  // means it never committed.
+                  ++stats_.presumed_aborts;
+                  AbortStaged(tx);
+                  return;
+                }
+                ArmTerminationTimer(tx);
+                return;
+              }
+              // Coordinator unreachable: ask the other participants.
+              net::MulticastGather(
+                  &rpc_, peers, msg::kOutcome, outcome_req,
+                  [this, tx](net::GatherResult g) {
+                    if (staged_.count(KeyOf(tx)) == 0) return;
+                    bool committed = false;
+                    bool aborted = false;
+                    for (const auto& [node, rr] : g.replies) {
+                      if (!rr.ok()) continue;
+                      const auto& resp = net::As<OutcomeResponse>(rr.response);
+                      if (resp.outcome == TxOutcome::kCommitted) {
+                        committed = true;
+                      }
+                      if (resp.outcome == TxOutcome::kAborted) aborted = true;
+                    }
+                    assert(!(committed && aborted) &&
+                           "2PC outcome divergence");
+                    if (committed) {
+                      CommitStaged(tx);
+                    } else if (aborted) {
+                      AbortStaged(tx);
+                    } else {
+                      ArmTerminationTimer(tx);  // Blocked; keep polling.
+                    }
+                  });
+            });
+}
+
+// ---------------------------------------------------------------------------
+// Propagation: source side (the Propagate algorithm).
+// ---------------------------------------------------------------------------
+
+bool ReplicaNode::HasPendingPropagation() const {
+  for (const auto& [object, targets] : pending_propagation_) {
+    if (!targets.Empty()) return true;
+  }
+  return false;
+}
+
+NodeSet ReplicaNode::pending_propagation(ObjectId object) const {
+  auto it = pending_propagation_.find(object);
+  return it == pending_propagation_.end() ? NodeSet{} : it->second;
+}
+
+void ReplicaNode::AddPropagationTargets(ObjectId object,
+                                        const NodeSet& targets) {
+  NodeSet added = targets;
+  added.Erase(self());
+  NodeSet& pending = pending_propagation_[object];
+  pending = pending.Union(added);
+  if (!pending.Empty()) {
+    SchedulePropagation(options_.propagation_start_delay);
+  }
+}
+
+void ReplicaNode::SchedulePropagation(sim::Time delay) {
+  if (propagation_scheduled_ || propagation_round_active_) return;
+  propagation_scheduled_ = true;
+  uint64_t epoch = termination_epoch_;
+  simulator()->Schedule(delay, [this, epoch] {
+    if (epoch != termination_epoch_) return;
+    propagation_scheduled_ = false;
+    if (!rpc_.network()->IsUp(self())) return;
+    RunPropagationRound();
+  });
+}
+
+void ReplicaNode::RunPropagationRound() {
+  if (propagation_round_active_) return;
+  bool any_offered = false;
+  bool any_pending = false;
+  for (auto& [object, pending] : pending_propagation_) {
+    // A stale replica cannot be a propagation source for that object; it
+    // will re-earn the duty (or be offered data itself) later.
+    if (objects_.at(object).stale()) {
+      if (!pending.Empty()) any_pending = true;
+      continue;
+    }
+    // Drop targets that have left the current epoch: they will be caught
+    // up (or marked stale again) by the epoch change that re-admits them.
+    pending = pending.Intersection(epoch_->list);
+    if (pending.Empty()) continue;
+    any_pending = true;
+    any_offered = true;
+    for (NodeId target : pending) {
+      OfferPropagation(object, target);
+    }
+  }
+  if (!any_pending) return;
+  if (!any_offered) {
+    // Everything pending is blocked on our own staleness; retry later.
+    SchedulePropagation(options_.propagation_retry_delay);
+    return;
+  }
+  propagation_round_active_ = true;
+  // Round bookkeeping: re-arm after one retry delay; completions erase
+  // targets, so the next round only re-offers what is still pending.
+  uint64_t epoch = termination_epoch_;
+  simulator()->Schedule(options_.propagation_retry_delay, [this, epoch] {
+    if (epoch != termination_epoch_) return;
+    propagation_round_active_ = false;
+    if (!rpc_.network()->IsUp(self())) return;
+    if (HasPendingPropagation()) {
+      SchedulePropagation(options_.propagation_retry_delay);
+    }
+  });
+}
+
+void ReplicaNode::OfferPropagation(ObjectId object, NodeId target) {
+  uint64_t transfer_id = NextOperationId();
+  auto offer = std::make_shared<PropagationOffer>();
+  offer->object = object;
+  offer->source_version = objects_.at(object).version();
+  offer->transfer_id = transfer_id;
+  ++stats_.propagation_offers_sent;
+
+  rpc_.Call(target, msg::kPropOffer, offer,
+            [this, object, target, transfer_id](net::RpcResult r) {
+    if (!r.ok()) return;  // CallFailed/busy: target stays pending.
+    const auto& reply = net::As<PropagationOfferReply>(r.response);
+    switch (reply.verdict) {
+      case PropagationVerdict::kIAmCurrent:
+        pending_propagation_[object].Erase(target);
+        return;
+      case PropagationVerdict::kAlreadyRecovering:
+        return;  // "pause(some-time)" — the next round re-offers.
+      case PropagationVerdict::kPermitted:
+        break;
+    }
+    // Ship exactly the target's gap; fall back to a snapshot if our log
+    // no longer reaches back that far.
+    auto data = std::make_shared<PropagationData>();
+    data->object = object;
+    data->transfer_id = transfer_id;
+    storage::ReplicaStore& store = objects_.at(object);
+    Result<std::vector<Update>> gap =
+        store.object().UpdatesSince(reply.target_version);
+    if (gap.ok()) {
+      data->first_version = reply.target_version + 1;
+      data->updates = std::move(gap).value();
+    } else {
+      data->snapshot = true;
+      data->snapshot_version = store.version();
+      data->updates = {store.object().Snapshot()};
+    }
+    rpc_.Call(target, msg::kPropData, data,
+              [this, object, target](net::RpcResult rr) {
+                if (!rr.ok()) return;  // Stays pending; next round retries.
+                pending_propagation_[object].Erase(target);
+                ++stats_.propagations_completed;
+              });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Propagation: target side (the PropagateResponse algorithm).
+// ---------------------------------------------------------------------------
+
+Result<PayloadPtr> ReplicaNode::HandlePropOffer(NodeId from,
+                                                const PropagationOffer& req) {
+  auto reply = std::make_shared<PropagationOfferReply>();
+  if (objects_.count(req.object) == 0) {
+    return Status::NotFound("no such object");
+  }
+  storage::ReplicaStore& store = objects_.at(req.object);
+  if (store.locked_for_propagation()) {
+    reply->verdict = PropagationVerdict::kAlreadyRecovering;
+    return PayloadPtr(std::move(reply));
+  }
+  if (!store.stale() || store.desired_version() > req.source_version) {
+    // Already brought up to date, or the offered version cannot satisfy
+    // our desired version ("i-am-current" covers both in the paper).
+    reply->verdict = PropagationVerdict::kIAmCurrent;
+    return PayloadPtr(std::move(reply));
+  }
+  LockOwner owner{from, req.transfer_id};
+  Status s = TryLock(req.object, owner, /*exclusive=*/true);
+  if (!s.ok()) {
+    // Replica busy (a write holds the lock): have the source retry later.
+    reply->verdict = PropagationVerdict::kAlreadyRecovering;
+    return PayloadPtr(std::move(reply));
+  }
+  store.set_locked_for_propagation(true);
+  // Watchdog: if the source dies between granting this offer and sending
+  // the data, the transfer lock (and the locked-for-propagation bit)
+  // would wedge this replica in "already-recovering" forever. Reclaim an
+  // abandoned transfer after the lock lease.
+  uint64_t epoch = termination_epoch_;
+  ObjectId object = req.object;
+  simulator()->Schedule(options_.lock_lease, [this, object, owner, epoch] {
+    if (epoch != termination_epoch_) return;
+    storage::ReplicaStore& st = objects_.at(object);
+    if (st.locked_for_propagation() && st.HoldsLock(owner)) {
+      st.set_locked_for_propagation(false);
+      st.Unlock(owner);
+      lock_acquired_at_.erase(KeyOf(owner));
+    }
+  });
+  reply->verdict = PropagationVerdict::kPermitted;
+  reply->target_version = store.version();
+  return PayloadPtr(std::move(reply));
+}
+
+Result<PayloadPtr> ReplicaNode::HandlePropData(NodeId from,
+                                               const PropagationData& req) {
+  if (objects_.count(req.object) == 0) {
+    return Status::NotFound("no such object");
+  }
+  storage::ReplicaStore& store = objects_.at(req.object);
+  LockOwner owner{from, req.transfer_id};
+  if (!store.locked_for_propagation() || !store.HoldsLock(owner)) {
+    return Status::Conflict("no propagation in progress for this transfer");
+  }
+  auto release = [this, &store, &owner] {
+    store.set_locked_for_propagation(false);
+    store.Unlock(owner);
+    lock_acquired_at_.erase(KeyOf(owner));
+  };
+
+  if (req.snapshot) {
+    assert(req.updates.size() == 1 && req.updates[0].total);
+    store.object().InstallSnapshot(req.snapshot_version, req.updates[0]);
+  } else {
+    Status s = store.object().ApplyPropagated(req.first_version, req.updates);
+    if (!s.ok()) {
+      release();
+      return s;
+    }
+  }
+  if (store.version() >= store.desired_version()) {
+    store.ClearStale();
+    ++stats_.propagations_received;
+  }
+  release();
+  auto reply = std::make_shared<PropagationDataReply>();
+  reply->new_version = store.version();
+  return PayloadPtr(std::move(reply));
+}
+
+}  // namespace dcp::protocol

@@ -1,0 +1,252 @@
+#ifndef DCP_PROTOCOL_REPLICA_NODE_H_
+#define DCP_PROTOCOL_REPLICA_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coterie/coterie.h"
+#include "net/rpc.h"
+#include "protocol/messages.h"
+#include "storage/replica_store.h"
+
+namespace dcp::protocol {
+
+/// How lock conflicts are resolved (the paper defers deadlock handling
+/// to Bernstein/Hadzilacos/Goodman [2]; both policies below are from
+/// there and both are deadlock-free).
+enum class LockPolicy {
+  /// Refuse the lock; the coordinator aborts and retries with backoff.
+  kRefuse,
+  /// Wound-wait: an *older* operation (earlier start time) forcibly
+  /// wounds a younger non-staged holder and takes the lock; a younger
+  /// requester is refused (it "waits" by retrying). Older operations
+  /// never retry behind younger ones, so heavy contention cannot starve
+  /// them.
+  kWoundWait,
+};
+
+/// Tuning knobs for a replica node.
+struct ReplicaNodeOptions {
+  /// Lock-conflict resolution policy.
+  LockPolicy lock_policy = LockPolicy::kRefuse;
+
+  /// How long a *non-staged* lock may be held before a conflicting
+  /// operation is allowed to steal it. Guards against coordinators that
+  /// died between the lock round and 2PC prepare. Staged (prepared)
+  /// locks never expire — that is 2PC's blocking nature.
+  sim::Time lock_lease = 500.0;
+
+  /// How often a prepared participant runs cooperative termination when
+  /// it has not heard the transaction outcome.
+  sim::Time termination_poll_interval = 60.0;
+
+  /// Pause before re-offering propagation ("pause(some-time)" in the
+  /// Propagate pseudocode) and between propagation rounds.
+  sim::Time propagation_retry_delay = 25.0;
+
+  /// Delay before a committed node starts its propagation round (lets
+  /// the triggering operation's messages drain first).
+  sim::Time propagation_start_delay = 5.0;
+
+  /// RPC timeout for this node's outgoing calls.
+  sim::Time rpc_timeout = 100.0;
+};
+
+/// Statistics a node keeps about its own protocol activity.
+struct ReplicaNodeStats {
+  uint64_t locks_granted = 0;
+  uint64_t lock_conflicts = 0;
+  uint64_t lock_steals = 0;
+  uint64_t prepares = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t termination_polls = 0;
+  uint64_t presumed_aborts = 0;
+  uint64_t propagation_offers_sent = 0;
+  uint64_t propagations_completed = 0;  ///< As source.
+  uint64_t propagations_received = 0;   ///< As target (caught up).
+};
+
+/// One replica node hosting a *group* of data items that share an epoch
+/// (Section 2: epoch management is amortized over the whole group). The
+/// node is the RPC service handling every protocol message of Section 4 /
+/// the Appendix — lock ("write-request") handling, 2PC participant duties
+/// for do-update / mark-stale / new-epoch actions, the PropagateResponse
+/// algorithm, and the source side of Propagate.
+///
+/// Coordinator logic (write/read/epoch-check) lives in separate
+/// operation classes that run *on* a node (see operations.h).
+class ReplicaNode : public net::RpcService {
+ public:
+  using ObjectId = storage::ObjectId;
+
+  /// Hosts one object per entry of `initial_values` (ids 0..K-1), all
+  /// sharing one epoch record initialized to (0, all_nodes).
+  ReplicaNode(net::Network* network, NodeId self, NodeSet all_nodes,
+              const coterie::CoterieRule* rule,
+              std::vector<std::vector<uint8_t>> initial_values,
+              ReplicaNodeOptions options = {});
+
+  /// Single-object convenience constructor.
+  ReplicaNode(net::Network* network, NodeId self, NodeSet all_nodes,
+              const coterie::CoterieRule* rule,
+              std::vector<uint8_t> initial_value,
+              ReplicaNodeOptions options = {})
+      : ReplicaNode(network, self, std::move(all_nodes), rule,
+                    std::vector<std::vector<uint8_t>>{
+                        std::move(initial_value)},
+                    options) {}
+
+  ReplicaNode(const ReplicaNode&) = delete;
+  ReplicaNode& operator=(const ReplicaNode&) = delete;
+
+  NodeId self() const { return self_; }
+  net::RpcRuntime& rpc() { return rpc_; }
+  uint32_t num_objects() const {
+    return static_cast<uint32_t>(objects_.size());
+  }
+  storage::ReplicaStore& store(ObjectId object = 0) {
+    return objects_.at(object);
+  }
+  const storage::ReplicaStore& store(ObjectId object = 0) const {
+    return objects_.at(object);
+  }
+  const storage::EpochRecord& epoch() const { return *epoch_; }
+  const coterie::CoterieRule& rule() const { return *rule_; }
+  const NodeSet& all_nodes() const { return all_nodes_; }
+  const ReplicaNodeOptions& options() const { return options_; }
+  const ReplicaNodeStats& stats() const { return stats_; }
+  sim::Simulator* simulator() { return rpc_.network()->simulator(); }
+
+  /// Fail-stop crash: volatile state (locks, lock leases, outstanding
+  /// RPCs) evaporates. Persistent state — the stores, the staged 2PC
+  /// action (prepare is logged before acknowledging!), the outcome log —
+  /// survives.
+  void Crash();
+
+  /// Recovery: resumes cooperative termination if a transaction was left
+  /// prepared, and any pending propagation duty.
+  void Recover();
+
+  /// Allocates an id for an operation coordinated by this node.
+  uint64_t NextOperationId() { return next_operation_id_++; }
+
+  /// The state tuple for one object, as reported in lock replies.
+  ReplicaStateTuple StateTuple(ObjectId object = 0) const;
+
+  // --- 2PC coordinator-side bookkeeping (used by TwoPhaseCoordinator) ---
+
+  /// Marks a transaction this node coordinates as in flight, so outcome
+  /// queries can distinguish "still deciding" from "presumed abort".
+  void BeginCoordinatedTx(const LockOwner& tx);
+  /// Logs the decision (persistently) — the commit point.
+  void DecideCoordinatedTx(const LockOwner& tx, TxOutcome outcome);
+
+  TxOutcome LookupOutcome(const LockOwner& tx) const;
+
+  /// Replicas this node still owes propagation to for `object`.
+  NodeSet pending_propagation(ObjectId object = 0) const;
+
+  /// Enqueues propagation duty (also used by epoch-change commits).
+  void AddPropagationTargets(ObjectId object, const NodeSet& targets);
+
+  /// Handler for request types the node itself does not understand
+  /// (election traffic, installed by EpochDaemon).
+  using ExtensionHandler = std::function<Result<net::PayloadPtr>(
+      NodeId, const std::string&, const net::PayloadPtr&)>;
+  void set_extension_handler(ExtensionHandler handler) {
+    extension_handler_ = std::move(handler);
+  }
+
+  /// True iff any 2PC participant action is prepared-but-undecided here.
+  bool has_staged_transaction() const { return !staged_.empty(); }
+
+  // net::RpcService:
+  Result<net::PayloadPtr> HandleRequest(NodeId from, const std::string& type,
+                                        const net::PayloadPtr& request) override;
+
+ private:
+  using TxKey = std::pair<NodeId, uint64_t>;
+  static TxKey KeyOf(const LockOwner& o) {
+    return {o.coordinator, o.operation_id};
+  }
+
+  struct Staged {
+    LockOwner owner;
+    StagedAction action;
+    NodeSet participants;
+  };
+
+  // Request handlers.
+  Result<net::PayloadPtr> HandleLock(NodeId from, const LockRequest& req);
+  Result<net::PayloadPtr> HandleUnlock(const UnlockRequest& req);
+  Result<net::PayloadPtr> HandleFetch(const FetchRequest& req);
+  Result<net::PayloadPtr> HandlePrepare(const PrepareRequest& req);
+  Result<net::PayloadPtr> HandleCommit(const CommitRequest& req);
+  Result<net::PayloadPtr> HandleAbort(const AbortRequest& req);
+  Result<net::PayloadPtr> HandleOutcome(const OutcomeRequest& req);
+  Result<net::PayloadPtr> HandleEpochPoll();
+  Result<net::PayloadPtr> HandlePropOffer(NodeId from,
+                                          const PropagationOffer& req);
+  Result<net::PayloadPtr> HandlePropData(NodeId from,
+                                         const PropagationData& req);
+
+  /// Lock one object with lease-stealing of expired, non-staged locks.
+  /// Under LockPolicy::kWoundWait, `op_started` (when > 0) lets an older
+  /// requester wound younger non-staged holders.
+  Status TryLock(ObjectId object, const LockOwner& owner, bool exclusive,
+                 sim::Time op_started = 0);
+  bool LockIsStaged(const LockOwner& owner) const;
+  void UnlockEverywhere(const LockOwner& owner);
+
+  void RecordOutcome(const LockOwner& tx, TxOutcome outcome);
+
+  void CommitStaged(const LockOwner& tx);
+  void AbortStaged(const LockOwner& tx);
+  void ArmTerminationTimer(const LockOwner& tx);
+  void RunTerminationProtocol(const LockOwner& tx);
+
+  void SchedulePropagation(sim::Time delay);
+  void RunPropagationRound();
+  void OfferPropagation(ObjectId object, NodeId target);
+  bool HasPendingPropagation() const;
+
+  net::RpcRuntime rpc_;
+  NodeId self_;
+  std::shared_ptr<storage::EpochRecord> epoch_;
+  std::map<ObjectId, storage::ReplicaStore> objects_;
+  NodeSet all_nodes_;
+  const coterie::CoterieRule* rule_;
+  ReplicaNodeOptions options_;
+  ReplicaNodeStats stats_;
+  ExtensionHandler extension_handler_;
+
+  // Persistent: 2PC participant + coordinator logs. Several transactions
+  // may be prepared concurrently (they necessarily touch disjoint lock
+  // footprints — e.g. different objects of the group); each resolves
+  // independently.
+  std::map<TxKey, Staged> staged_;
+  std::map<TxKey, TxOutcome> outcomes_;
+  std::map<TxKey, bool> coordinating_;  ///< tx -> still deciding.
+
+  // Persistent: per-object propagation duty.
+  std::map<ObjectId, NodeSet> pending_propagation_;
+
+  // Volatile.
+  std::map<TxKey, sim::Time> lock_acquired_at_;
+  std::map<TxKey, sim::Time> op_started_at_;  ///< Wound-wait priorities.
+  bool propagation_scheduled_ = false;
+  bool propagation_round_active_ = false;
+  uint64_t termination_epoch_ = 0;  ///< Invalidates stale timers.
+
+  uint64_t next_operation_id_ = 1;
+};
+
+}  // namespace dcp::protocol
+
+#endif  // DCP_PROTOCOL_REPLICA_NODE_H_

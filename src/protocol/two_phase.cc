@@ -1,0 +1,103 @@
+#include "protocol/two_phase.h"
+
+#include <memory>
+#include <utility>
+
+#include "net/rpc.h"
+
+namespace dcp::protocol {
+
+using net::MakePayload;
+
+void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
+                         std::map<NodeId, StagedAction> actions,
+                         DecisionHook on_decide, Done done) {
+  NodeSet participants;
+  for (const auto& [node, action] : actions) participants.Insert(node);
+
+  coordinator->BeginCoordinatedTx(tx);
+
+  // Phase 1: prepare. Each participant gets its own action, so this is a
+  // per-node Call loop rather than a MulticastGather.
+  struct State {
+    ReplicaNode* coordinator;
+    LockOwner tx;
+    NodeSet participants;
+    DecisionHook on_decide;
+    Done done;
+    uint32_t expected = 0;
+    uint32_t received = 0;
+    bool all_prepared = true;
+    Status first_failure;
+  };
+  auto state = std::make_shared<State>();
+  state->coordinator = coordinator;
+  state->tx = tx;
+  state->participants = participants;
+  state->on_decide = std::move(on_decide);
+  state->done = std::move(done);
+  state->expected = participants.Size();
+
+  auto finish_phase1 = [state] {
+    TxOutcome outcome =
+        state->all_prepared ? TxOutcome::kCommitted : TxOutcome::kAborted;
+    // The commit point: log the decision before any phase-2 message.
+    state->coordinator->DecideCoordinatedTx(state->tx, outcome);
+    if (state->on_decide) state->on_decide(outcome);
+
+    net::PayloadPtr phase2;
+    const char* type;
+    if (outcome == TxOutcome::kCommitted) {
+      auto commit = std::make_shared<CommitRequest>();
+      commit->owner = state->tx;
+      phase2 = std::move(commit);
+      type = msg::kCommit;
+    } else {
+      auto abort = std::make_shared<AbortRequest>();
+      abort->owner = state->tx;
+      phase2 = std::move(abort);
+      type = msg::kAbort;
+    }
+    net::MulticastGather(
+        &state->coordinator->rpc(), state->participants, type, phase2,
+        [state, outcome](net::GatherResult) {
+          // Unreachable participants resolve via cooperative termination;
+          // the transaction outcome is already decided either way.
+          if (outcome == TxOutcome::kCommitted) {
+            state->done(Status::OK());
+          } else {
+            Status s = state->first_failure.ok()
+                           ? Status::Aborted("2pc prepare failed")
+                           : state->first_failure;
+            state->done(Status::Aborted("2pc aborted: " + s.ToString()));
+          }
+        });
+  };
+
+  if (state->expected == 0) {
+    coordinator->simulator()->Schedule(0, [finish_phase1] { finish_phase1(); });
+    return;
+  }
+
+  for (const auto& [node, action] : actions) {
+    auto prepare = std::make_shared<PrepareRequest>();
+    prepare->owner = tx;
+    prepare->action = action;
+    prepare->participants = participants;
+    coordinator->rpc().Call(
+        node, msg::kPrepare, prepare,
+        [state, finish_phase1](net::RpcResult r) {
+          ++state->received;
+          if (!r.ok()) {
+            state->all_prepared = false;
+            if (state->first_failure.ok()) {
+              state->first_failure =
+                  r.call_failed() ? r.transport : r.app;
+            }
+          }
+          if (state->received == state->expected) finish_phase1();
+        });
+  }
+}
+
+}  // namespace dcp::protocol

@@ -1,0 +1,76 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace dcp::sim {
+
+EventId Simulator::Schedule(Time delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  assert(when >= now_);
+  Key key{when, next_seq_++};
+  queue_.emplace(key, std::move(fn));
+  index_.emplace(key.seq, when);
+  return EventId{key.seq};
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (!id.valid()) return false;
+  auto idx = index_.find(id.seq);
+  if (idx == index_.end()) return false;
+  queue_.erase(Key{idx->second, id.seq});
+  index_.erase(idx);
+  return true;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  now_ = it->first.when;
+  std::function<void()> fn = std::move(it->second);
+  index_.erase(it->first.seq);
+  queue_.erase(it);
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Time deadline) {
+  while (!queue_.empty() && queue_.begin()->first.when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+PeriodicTask::PeriodicTask(Simulator* sim, Time initial_delay, Time period,
+                           std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  Arm(initial_delay);
+}
+
+void PeriodicTask::Arm(Time delay) {
+  pending_ = sim_->Schedule(delay, [this] {
+    pending_ = EventId{};
+    if (!running_) return;
+    fn_();
+    if (running_) Arm(period_);
+  });
+}
+
+void PeriodicTask::Stop() {
+  running_ = false;
+  if (pending_.valid()) {
+    sim_->Cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+}  // namespace dcp::sim

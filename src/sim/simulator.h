@@ -1,0 +1,107 @@
+#ifndef DCP_SIM_SIMULATOR_H_
+#define DCP_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace dcp::sim {
+
+/// Virtual time, in arbitrary units (the availability benches interpret it
+/// as hours; the protocol layer as milliseconds — the kernel doesn't care).
+using Time = double;
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+struct EventId {
+  uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+/// Deterministic discrete-event simulation kernel.
+///
+/// Events are closures ordered by (time, insertion sequence); ties in time
+/// execute in scheduling order, which keeps runs fully deterministic. The
+/// kernel is single-threaded by design: concurrency in the simulated
+/// distributed system comes from interleaving events, not OS threads.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time Now() const { return now_; }
+
+  /// Schedules `fn` to run at `Now() + delay` (delay must be >= 0).
+  EventId Schedule(Time delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when` (>= Now()).
+  EventId ScheduleAt(Time when, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled.
+  bool Cancel(EventId id);
+
+  /// Runs a single event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until the queue is empty.
+  void Run();
+
+  /// Runs events with time <= `deadline`, then advances the clock to
+  /// `deadline` (even if the queue still holds later events).
+  void RunUntil(Time deadline);
+
+  /// Number of events executed so far.
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of pending events.
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Key {
+    Time when;
+    uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (when != o.when) return when < o.when;
+      return seq < o.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+  std::map<Key, std::function<void()>> queue_;
+  // seq -> scheduled time, so Cancel can reconstruct the map key.
+  std::unordered_map<uint64_t, Time> index_;
+};
+
+/// Re-arms itself on a fixed period until stopped. Used for the paper's
+/// "steady pulse of epoch checking operations" (Section 4.3).
+class PeriodicTask {
+ public:
+  /// Starts firing `fn` every `period`, first at `Now() + initial_delay`.
+  PeriodicTask(Simulator* sim, Time initial_delay, Time period,
+               std::function<void()> fn);
+  ~PeriodicTask() { Stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Stop();
+  bool running() const { return running_; }
+
+ private:
+  void Arm(Time delay);
+
+  Simulator* sim_;
+  Time period_;
+  std::function<void()> fn_;
+  EventId pending_{};
+  bool running_ = true;
+};
+
+}  // namespace dcp::sim
+
+#endif  // DCP_SIM_SIMULATOR_H_

@@ -1,0 +1,89 @@
+#include "storage/replica_store.h"
+
+#include <sstream>
+
+namespace dcp::storage {
+
+void ReplicaStore::MarkStale(Version desired_version) {
+  stale_ = true;
+  desired_version_ = desired_version;
+}
+
+void ReplicaStore::ClearStale() {
+  stale_ = false;
+  desired_version_ = 0;
+}
+
+void ReplicaStore::SetEpoch(EpochNumber number, NodeSet members) {
+  epoch_->number = number;
+  epoch_->list = std::move(members);
+}
+
+Status ReplicaStore::Lock(const LockOwner& owner, bool exclusive) {
+  if (exclusive_owner_.valid()) {
+    if (exclusive_owner_ == owner) return Status::OK();  // Re-entrant.
+    return Status::Conflict("replica locked by node " +
+                            std::to_string(exclusive_owner_.coordinator) +
+                            " op " +
+                            std::to_string(exclusive_owner_.operation_id));
+  }
+  if (exclusive) {
+    if (!shared_owners_.empty()) {
+      // Upgrades are not supported; a lone shared holder upgrading would
+      // deadlock against another upgrader anyway.
+      return Status::Conflict("replica share-locked by " +
+                              std::to_string(shared_owners_.size()) +
+                              " reader(s)");
+    }
+    exclusive_owner_ = owner;
+    return Status::OK();
+  }
+  for (const LockOwner& o : shared_owners_) {
+    if (o == owner) return Status::OK();  // Re-entrant.
+  }
+  shared_owners_.push_back(owner);
+  return Status::OK();
+}
+
+bool ReplicaStore::HoldsLock(const LockOwner& owner) const {
+  if (exclusive_owner_ == owner) return true;
+  for (const LockOwner& o : shared_owners_) {
+    if (o == owner) return true;
+  }
+  return false;
+}
+
+void ReplicaStore::Unlock(const LockOwner& owner) {
+  if (exclusive_owner_ == owner) {
+    exclusive_owner_ = LockOwner{};
+    return;
+  }
+  for (auto it = shared_owners_.begin(); it != shared_owners_.end(); ++it) {
+    if (*it == owner) {
+      shared_owners_.erase(it);
+      return;
+    }
+  }
+}
+
+void ReplicaStore::Crash() {
+  exclusive_owner_ = LockOwner{};
+  shared_owners_.clear();
+  locked_for_propagation_ = false;
+}
+
+std::string ReplicaStore::DebugString() const {
+  std::ostringstream os;
+  os << "node " << self_ << ": v" << version();
+  if (stale_) os << " STALE(dv=" << desired_version_ << ")";
+  os << " epoch " << epoch_->number << " " << epoch_->list.ToString();
+  if (exclusive_owner_.valid()) {
+    os << " xlocked-by(" << exclusive_owner_.coordinator << ","
+       << exclusive_owner_.operation_id << ")";
+  } else if (!shared_owners_.empty()) {
+    os << " slocked-by-" << shared_owners_.size();
+  }
+  return os.str();
+}
+
+}  // namespace dcp::storage

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace dcp {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal_logging {
+
+bool Enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level);
+}
+
+void Emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace dcp

@@ -1,0 +1,50 @@
+#ifndef DCP_UTIL_LOGGING_H_
+#define DCP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dcp {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level. Defaults to kWarn so tests/benches stay
+/// quiet; examples raise it to kInfo/kDebug for narration.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+bool Enabled(LogLevel level);
+void Emit(LogLevel level, const std::string& message);
+
+/// Stream-style one-shot log line; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dcp
+
+/// DCP_LOG(kInfo) << "message " << detail;
+#define DCP_LOG(severity)                                                \
+  if (!::dcp::internal_logging::Enabled(::dcp::LogLevel::severity)) {    \
+  } else                                                                 \
+    ::dcp::internal_logging::LogLine(::dcp::LogLevel::severity)
+
+#endif  // DCP_UTIL_LOGGING_H_

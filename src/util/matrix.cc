@@ -1,0 +1,82 @@
+#include "util/matrix.h"
+
+#include <cmath>
+#include <string>
+
+namespace dcp {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = Real{1};
+  return m;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      Real aik = At(i, k);
+      if (aik == Real{0}) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += aik * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Real>> SolveLinearSystem(const Matrix& a,
+                                            const std::vector<Real>& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: dimension mismatch");
+  }
+  Matrix lu = a;
+  std::vector<Real> x = b;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude in this column.
+    size_t pivot = col;
+    Real best = std::fabs(lu.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      Real v = std::fabs(lu.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == Real{0}) {
+      return Status::Internal("SolveLinearSystem: singular matrix at column " +
+                              std::to_string(col));
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        Real tmp = lu.At(col, c);
+        lu.At(col, c) = lu.At(pivot, c);
+        lu.At(pivot, c) = tmp;
+      }
+      std::swap(x[col], x[pivot]);
+    }
+    Real diag = lu.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      Real factor = lu.At(r, col) / diag;
+      if (factor == Real{0}) continue;
+      lu.At(r, col) = Real{0};
+      for (size_t c = col + 1; c < n; ++c) {
+        lu.At(r, c) -= factor * lu.At(col, c);
+      }
+      x[r] -= factor * x[col];
+    }
+  }
+  // Back substitution.
+  for (size_t ri = n; ri-- > 0;) {
+    Real sum = x[ri];
+    for (size_t c = ri + 1; c < n; ++c) sum -= lu.At(ri, c) * x[c];
+    x[ri] = sum / lu.At(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace dcp

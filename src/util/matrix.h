@@ -1,0 +1,50 @@
+#ifndef DCP_UTIL_MATRIX_H_
+#define DCP_UTIL_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dcp {
+
+/// Extended-precision scalar used by the availability analysis. Table 1 of
+/// the paper reports unavailabilities down to 1.5e-14; solving the global
+/// balance equations to that absolute accuracy needs more headroom than
+/// IEEE double provides, so the CTMC machinery runs on long double
+/// (80-bit extended on x86, eps ~ 1e-19).
+using Real = long double;
+
+/// Dense row-major matrix of `Real`.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Real{0}) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  Real& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  Real At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this * other; dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<Real> data_;
+};
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+/// Returns kInvalidArgument on dimension mismatch and kInternal if A is
+/// (numerically) singular.
+Result<std::vector<Real>> SolveLinearSystem(const Matrix& a,
+                                            const std::vector<Real>& b);
+
+}  // namespace dcp
+
+#endif  // DCP_UTIL_MATRIX_H_

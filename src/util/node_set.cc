@@ -1,0 +1,180 @@
+#include "util/node_set.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace dcp {
+
+NodeSet::NodeSet(std::initializer_list<NodeId> ids) {
+  for (NodeId id : ids) Insert(id);
+}
+
+NodeSet NodeSet::Universe(uint32_t n) {
+  NodeSet s;
+  for (uint32_t i = 0; i < n; ++i) s.Insert(i);
+  return s;
+}
+
+NodeSet NodeSet::FromVector(const std::vector<NodeId>& ids) {
+  NodeSet s;
+  for (NodeId id : ids) s.Insert(id);
+  return s;
+}
+
+void NodeSet::EnsureCapacity(NodeId id) {
+  size_t need = static_cast<size_t>(id) / 64 + 1;
+  if (words_.size() < need) words_.resize(need, 0);
+}
+
+void NodeSet::TrimTrailingZeroWords() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+void NodeSet::Insert(NodeId id) {
+  assert(id != kInvalidNode);
+  EnsureCapacity(id);
+  words_[id / 64] |= (uint64_t{1} << (id % 64));
+}
+
+void NodeSet::Erase(NodeId id) {
+  if (static_cast<size_t>(id) / 64 >= words_.size()) return;
+  words_[id / 64] &= ~(uint64_t{1} << (id % 64));
+  TrimTrailingZeroWords();
+}
+
+bool NodeSet::Contains(NodeId id) const {
+  size_t w = static_cast<size_t>(id) / 64;
+  if (w >= words_.size()) return false;
+  return (words_[w] >> (id % 64)) & 1;
+}
+
+void NodeSet::Clear() { words_.clear(); }
+
+uint32_t NodeSet::Size() const {
+  uint32_t n = 0;
+  for (uint64_t w : words_) n += static_cast<uint32_t>(std::popcount(w));
+  return n;
+}
+
+std::vector<NodeId> NodeSet::ToVector() const {
+  std::vector<NodeId> out;
+  out.reserve(Size());
+  for (NodeId id : *this) out.push_back(id);
+  return out;
+}
+
+int64_t NodeSet::OrderedIndex(NodeId id) const {
+  if (!Contains(id)) return -1;
+  size_t w = static_cast<size_t>(id) / 64;
+  int64_t rank = 0;
+  for (size_t i = 0; i < w; ++i) rank += std::popcount(words_[i]);
+  uint64_t mask = (uint64_t{1} << (id % 64)) - 1;
+  rank += std::popcount(words_[w] & mask);
+  return rank;
+}
+
+NodeId NodeSet::NthMember(uint32_t index) const {
+  uint32_t remaining = index;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint32_t pc = static_cast<uint32_t>(std::popcount(words_[w]));
+    if (remaining >= pc) {
+      remaining -= pc;
+      continue;
+    }
+    uint64_t bits = words_[w];
+    for (uint32_t k = 0; k <= remaining; ++k) {
+      if (k == remaining) {
+        return static_cast<NodeId>(w * 64 + std::countr_zero(bits));
+      }
+      bits &= bits - 1;  // Drop lowest set bit.
+    }
+  }
+  return kInvalidNode;
+}
+
+bool NodeSet::IsSubsetOf(const NodeSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t ow = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ~ow) != 0) return false;
+  }
+  return true;
+}
+
+bool NodeSet::Intersects(const NodeSet& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+NodeSet NodeSet::Union(const NodeSet& other) const {
+  NodeSet out;
+  out.words_.resize(std::max(words_.size(), other.words_.size()), 0);
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    out.words_[i] = a | b;
+  }
+  return out;
+}
+
+NodeSet NodeSet::Intersection(const NodeSet& other) const {
+  NodeSet out;
+  out.words_.resize(std::min(words_.size(), other.words_.size()), 0);
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  out.TrimTrailingZeroWords();
+  return out;
+}
+
+NodeSet NodeSet::Difference(const NodeSet& other) const {
+  NodeSet out;
+  out.words_ = words_;
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) out.words_[i] &= ~other.words_[i];
+  out.TrimTrailingZeroWords();
+  return out;
+}
+
+std::string NodeSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (NodeId id : *this) {
+    if (!first) out += ",";
+    out += std::to_string(id);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+bool operator==(const NodeSet& a, const NodeSet& b) {
+  size_t n = std::max(a.words_.size(), b.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t aw = i < a.words_.size() ? a.words_[i] : 0;
+    uint64_t bw = i < b.words_.size() ? b.words_[i] : 0;
+    if (aw != bw) return false;
+  }
+  return true;
+}
+
+bool operator<(const NodeSet& a, const NodeSet& b) {
+  size_t n = std::max(a.words_.size(), b.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t aw = i < a.words_.size() ? a.words_[i] : 0;
+    uint64_t bw = i < b.words_.size() ? b.words_[i] : 0;
+    if (aw != bw) return aw < bw;
+  }
+  return false;
+}
+
+void NodeSet::Iterator::Advance() {
+  NodeId cap = set_->Capacity();
+  while (pos_ < cap && !set_->Contains(pos_)) ++pos_;
+  if (pos_ > cap) pos_ = cap;
+}
+
+}  // namespace dcp

@@ -1,0 +1,121 @@
+#ifndef DCP_UTIL_NODE_SET_H_
+#define DCP_UTIL_NODE_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dcp {
+
+/// Identifier of a replica node. Node ids establish the linear order the
+/// paper requires ("each node is assigned a name and all names are linearly
+/// ordered", Section 1): smaller id == earlier in the order.
+using NodeId = uint32_t;
+
+/// Invalid/sentinel node id.
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// A set of node ids, stored as a bit vector.
+///
+/// This is the "binary vector" encoding the paper suggests for epoch lists
+/// (Section 4, footnote 1). The set also serves as the *ordered* set V over
+/// which coterie rules impose logical structure: iteration order is
+/// ascending node id.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  NodeSet(std::initializer_list<NodeId> ids);
+
+  /// The set {0, 1, ..., n-1}.
+  static NodeSet Universe(uint32_t n);
+  /// Builds a set from a vector of ids (duplicates are fine).
+  static NodeSet FromVector(const std::vector<NodeId>& ids);
+
+  NodeSet(const NodeSet&) = default;
+  NodeSet& operator=(const NodeSet&) = default;
+  NodeSet(NodeSet&&) noexcept = default;
+  NodeSet& operator=(NodeSet&&) noexcept = default;
+
+  void Insert(NodeId id);
+  void Erase(NodeId id);
+  bool Contains(NodeId id) const;
+  void Clear();
+
+  /// Number of elements.
+  uint32_t Size() const;
+  bool Empty() const { return Size() == 0; }
+
+  /// Elements in ascending order.
+  std::vector<NodeId> ToVector() const;
+
+  /// Position (0-based) of `id` within the ascending order of this set,
+  /// i.e. the paper's `ordered-number(V, s) - 1`. Returns a negative value
+  /// if `id` is not a member.
+  int64_t OrderedIndex(NodeId id) const;
+
+  /// The id at 0-based `index` in ascending order; kInvalidNode if out of
+  /// range.
+  NodeId NthMember(uint32_t index) const;
+
+  bool IsSubsetOf(const NodeSet& other) const;
+  bool Intersects(const NodeSet& other) const;
+
+  NodeSet Union(const NodeSet& other) const;
+  NodeSet Intersection(const NodeSet& other) const;
+  /// Elements of this set not in `other`.
+  NodeSet Difference(const NodeSet& other) const;
+
+  /// "{0,3,7}" — ascending, braces.
+  std::string ToString() const;
+
+  friend bool operator==(const NodeSet& a, const NodeSet& b);
+  friend bool operator!=(const NodeSet& a, const NodeSet& b) {
+    return !(a == b);
+  }
+
+  /// Lexicographic-by-membership order so NodeSet can key ordered containers.
+  friend bool operator<(const NodeSet& a, const NodeSet& b);
+
+  /// Iteration support: visits members in ascending order.
+  class Iterator {
+   public:
+    Iterator(const NodeSet* set, NodeId pos) : set_(set), pos_(pos) {
+      Advance();
+    }
+    NodeId operator*() const { return pos_; }
+    Iterator& operator++() {
+      ++pos_;
+      Advance();
+      return *this;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.pos_ == b.pos_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.pos_ != b.pos_;
+    }
+
+   private:
+    void Advance();
+    const NodeSet* set_;
+    NodeId pos_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, Capacity()); }
+
+ private:
+  /// Number of bit positions currently representable.
+  NodeId Capacity() const {
+    return static_cast<NodeId>(words_.size() * 64);
+  }
+  void EnsureCapacity(NodeId id);
+  void TrimTrailingZeroWords();
+
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_UTIL_NODE_SET_H_

@@ -1,0 +1,82 @@
+#ifndef DCP_UTIL_STATISTICS_H_
+#define DCP_UTIL_STATISTICS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dcp {
+
+/// Accumulates samples and answers mean / stddev / min / max /
+/// percentile queries. Used by the workload driver and benches for
+/// latency distributions. Stores all samples (experiment-scale data);
+/// percentile queries sort lazily.
+class SampleStats {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const {
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s;
+  }
+
+  double Mean() const { return empty() ? 0 : Sum() / count(); }
+
+  /// Sample standard deviation (n-1 denominator); 0 for < 2 samples.
+  double StdDev() const {
+    if (count() < 2) return 0;
+    double mean = Mean();
+    double ss = 0;
+    for (double v : samples_) ss += (v - mean) * (v - mean);
+    return std::sqrt(ss / (count() - 1));
+  }
+
+  double Min() const {
+    EnsureSorted();
+    return empty() ? 0 : samples_.front();
+  }
+
+  double Max() const {
+    EnsureSorted();
+    return empty() ? 0 : samples_.back();
+  }
+
+  /// Percentile in [0, 100], nearest-rank method. p50 is the median.
+  double Percentile(double p) const {
+    if (empty()) return 0;
+    EnsureSorted();
+    double clamped = std::min(100.0, std::max(0.0, p));
+    size_t rank = static_cast<size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(count())));
+    if (rank == 0) rank = 1;
+    return samples_[rank - 1];
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_UTIL_STATISTICS_H_

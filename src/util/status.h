@@ -1,0 +1,103 @@
+#ifndef DCP_UTIL_STATUS_H_
+#define DCP_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dcp {
+
+/// Error category for a `Status`.
+///
+/// The library never throws; every fallible operation returns a `Status`
+/// (or a `Result<T>`, see result.h). Codes are deliberately coarse — the
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied a malformed request.
+  kNotFound,          ///< Referenced entity does not exist.
+  kUnavailable,       ///< No quorum reachable; retry may succeed later.
+  kAborted,           ///< Operation aborted (lock conflict, 2PC abort).
+  kConflict,          ///< Concurrent operation holds a required lock.
+  kStaleData,         ///< No current replica reachable (partial writes).
+  kTimedOut,          ///< Operation exceeded its deadline.
+  kCallFailed,        ///< RPC could not be delivered (node down/partitioned).
+  kInternal,          ///< Invariant violation; indicates a bug.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "Unavailable").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value, RocksDB-style.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status StaleData(std::string msg) {
+    return Status(StatusCode::kStaleData, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status CallFailed(std::string msg) {
+    return Status(StatusCode::kCallFailed, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsStaleData() const { return code_ == StatusCode::kStaleData; }
+  bool IsCallFailed() const { return code_ == StatusCode::kCallFailed; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // Messages are advisory.
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_UTIL_STATUS_H_

@@ -1,0 +1,143 @@
+// Additional analysis-layer tests: chain structure across parameters,
+// closed-form cross-checks for the column-safe layout, read-availability
+// plumbing of the site-model simulation, and argument validation.
+
+#include <gtest/gtest.h>
+
+#include "analysis/availability.h"
+#include "coterie/grid.h"
+#include "coterie/majority.h"
+
+namespace dcp::analysis {
+namespace {
+
+TEST(DynamicChain, StateCountFormula) {
+  for (uint32_t n : {4u, 9u, 20u}) {
+    for (uint32_t critical : {2u, 3u}) {
+      if (n < critical) continue;
+      DynamicChain dc = BuildDynamicEpochChain(n, 1.0L, 19.0L, critical);
+      size_t expected =
+          (n - critical + 1) + critical * (n - critical + 1);
+      EXPECT_EQ(dc.chain.NumStates(), expected)
+          << "n=" << n << " critical=" << critical;
+      EXPECT_EQ(dc.available_states.size(), n - critical + 1u);
+    }
+  }
+}
+
+TEST(DynamicChain, StationaryDistributionSumsToOne) {
+  DynamicChain dc = BuildDynamicEpochChain(12, 1.0L, 19.0L, 3);
+  auto pi = dc.chain.StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  Real sum = 0;
+  for (Real p : *pi) {
+    sum += p;
+    EXPECT_GE(static_cast<double>(p), -1e-18);  // No negative mass.
+  }
+  EXPECT_NEAR(static_cast<double>(sum), 1.0, 1e-15);
+}
+
+TEST(DynamicChain, RejectsTooFewNodes) {
+  EXPECT_FALSE(DynamicEpochAvailability(2, 1.0L, 19.0L, 3).ok());
+  EXPECT_TRUE(DynamicEpochAvailability(3, 1.0L, 19.0L, 3).ok());
+}
+
+TEST(DynamicChain, AvailabilityIncreasesWithRepairRate) {
+  Real prev = 0;
+  for (Real mu : {4.0L, 9.0L, 19.0L, 99.0L}) {
+    auto a = DynamicGridAvailability(9, 1.0L, mu);
+    ASSERT_TRUE(a.ok());
+    EXPECT_GT(*a, prev);
+    prev = *a;
+  }
+}
+
+TEST(ColumnSafeClosedForm, MatchesEnumeration) {
+  coterie::GridOptions opts;
+  opts.layout = coterie::GridLayout::kColumnSafe;
+  coterie::GridCoterie safe(opts);
+  for (uint32_t n : {3u, 5u, 9u, 11u}) {
+    Real closed = StaticGridWriteAvailability(
+        coterie::DefineGridColumnSafe(n), 0.9L, /*optimized=*/true);
+    Real brute = EnumeratedAvailability(safe, n, 0.9L, /*read=*/false);
+    EXPECT_NEAR(static_cast<double>(closed), static_cast<double>(brute),
+                1e-12)
+        << "N=" << n;
+  }
+}
+
+TEST(SiteModel, ReadAvailabilityExceedsWriteAvailability) {
+  // With the short-column optimization, epochs shrink exactly when a
+  // read quorum would survive, so reads and writes die together; the
+  // read advantage shows on the UNOPTIMIZED grid (a stuck 3-node epoch
+  // still serves reads while two of its members are up).
+  coterie::GridOptions opts;
+  opts.short_column_optimization = false;
+  coterie::GridCoterie grid_unopt(opts);
+  Rng rng(31);
+  SiteModelResult sim = SimulateDynamicSiteModel(grid_unopt, 9, 1.0L, 4.0L,
+                                                 200000.0L, &rng);
+  EXPECT_GT(sim.read_availability, sim.availability);
+  EXPECT_GT(sim.read_availability, 0.9L);  // p = 0.8 here.
+
+  // Optimized grid: read availability still at least write availability.
+  coterie::GridCoterie grid;
+  Rng rng2(31);
+  SiteModelResult sim2 =
+      SimulateDynamicSiteModel(grid, 9, 1.0L, 4.0L, 200000.0L, &rng2);
+  EXPECT_GE(sim2.read_availability, sim2.availability);
+}
+
+TEST(SiteModel, StaticReadMatchesClosedForm) {
+  coterie::GridCoterie grid;
+  Rng rng(32);
+  Real p = 0.8L;
+  SiteModelResult sim = SimulateStaticSiteModel(grid, 9, 1.0L,
+                                                p / (1 - p), 200000.0L, &rng);
+  Real closed = StaticGridReadAvailability(coterie::DefineGrid(9), p);
+  EXPECT_NEAR(static_cast<double>(sim.read_availability),
+              static_cast<double>(closed), 0.01);
+}
+
+TEST(SiteModel, MajorityReadEqualsWrite) {
+  // With read = write = majority, the two availabilities coincide.
+  coterie::MajorityCoterie majority;
+  Rng rng(33);
+  SiteModelResult sim = SimulateStaticSiteModel(majority, 9, 1.0L, 4.0L,
+                                                100000.0L, &rng);
+  EXPECT_EQ(sim.availability, sim.read_availability);
+}
+
+TEST(BestStaticGrid, PrefersFactorizationsOverSquares) {
+  // Table 1's "best dimensions" are not always the squarest shape; the
+  // search must consider every exact factorization.
+  BestGridResult best12 = BestStaticGrid(12, 0.95L);
+  EXPECT_EQ(best12.dims.rows, 3u);
+  EXPECT_EQ(best12.dims.cols, 4u);
+  BestGridResult best30 = BestStaticGrid(30, 0.95L);
+  EXPECT_EQ(best30.dims.rows, 5u);
+  EXPECT_EQ(best30.dims.cols, 6u);
+}
+
+TEST(EnumeratedAvailability, ReadAtLeastWrite) {
+  coterie::GridCoterie grid;
+  for (uint32_t n : {4u, 9u, 12u}) {
+    Real read = EnumeratedAvailability(grid, n, 0.9L, true);
+    Real write = EnumeratedAvailability(grid, n, 0.9L, false);
+    EXPECT_GE(read, write) << "N=" << n;
+  }
+}
+
+TEST(EnumeratedAvailability, DegenerateProbabilities) {
+  coterie::GridCoterie grid;
+  // p -> 1: everything available; p -> 0: nothing is.
+  EXPECT_NEAR(static_cast<double>(
+                  EnumeratedAvailability(grid, 9, 0.999999L, false)),
+              1.0, 1e-4);
+  EXPECT_NEAR(static_cast<double>(
+                  EnumeratedAvailability(grid, 9, 0.000001L, false)),
+              0.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace dcp::analysis

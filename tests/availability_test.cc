@@ -1,0 +1,178 @@
+#include "analysis/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "coterie/majority.h"
+
+namespace dcp::analysis {
+namespace {
+
+constexpr Real kP = 0.95L;        // The paper's operating point.
+constexpr Real kLambda = 1.0L;    // mu/lambda = 19 gives p = 0.95.
+constexpr Real kMu = 19.0L;
+
+TEST(StaticGrid, Table1StaticColumn) {
+  // Table 1: best static grid unavailability (x 1e-6), from [3].
+  struct Row {
+    uint32_t n, rows, cols;
+    double unavail_e6;
+  };
+  const Row rows[] = {
+      {9, 3, 3, 3268.59},  {12, 3, 4, 912.25}, {15, 3, 5, 683.60},
+      {16, 4, 4, 1208.75}, {20, 4, 5, 250.82}, {24, 4, 6, 78.23},
+      {30, 5, 6, 135.90},
+  };
+  for (const Row& r : rows) {
+    BestGridResult best = BestStaticGrid(r.n, kP);
+    EXPECT_EQ(best.dims.rows, r.rows) << "N=" << r.n;
+    EXPECT_EQ(best.dims.cols, r.cols) << "N=" << r.n;
+    EXPECT_NEAR(static_cast<double>(best.write_unavailability) * 1e6,
+                r.unavail_e6, 0.01)
+        << "N=" << r.n;
+  }
+}
+
+TEST(DynamicGrid, Table1DynamicColumn) {
+  // Table 1: dynamic grid unavailability. 9 -> 0.18e-6, 12 -> 0.6e-10,
+  // 15 -> 1.564e-14, 16 -> "negligible" (we check < 1e-14).
+  auto u = [](uint32_t n) {
+    auto a = DynamicGridAvailability(n, kLambda, kMu);
+    EXPECT_TRUE(a.ok());
+    return static_cast<double>(1.0L - *a);
+  };
+  EXPECT_NEAR(u(9) * 1e6, 0.18, 0.005);
+  EXPECT_NEAR(u(12) * 1e10, 0.6, 0.005);
+  EXPECT_NEAR(u(15) * 1e14, 1.564, 0.005);
+  EXPECT_LT(u(16), 1e-14);
+}
+
+TEST(DynamicGrid, ImprovementIsOrdersOfMagnitude) {
+  for (uint32_t n : {9u, 12u, 15u}) {
+    Real static_u = BestStaticGrid(n, kP).write_unavailability;
+    auto dyn = DynamicGridAvailability(n, kLambda, kMu);
+    ASSERT_TRUE(dyn.ok());
+    Real dynamic_u = 1.0L - *dyn;
+    EXPECT_GT(static_u / dynamic_u, 1e3) << "N=" << n;
+  }
+}
+
+TEST(StaticGrid, ReadAvailabilityExceedsWrite) {
+  for (uint32_t n : {9u, 16u, 25u}) {
+    coterie::GridDimensions dims = coterie::DefineGrid(n);
+    Real read = StaticGridReadAvailability(dims, kP);
+    Real write = StaticGridWriteAvailability(dims, kP, true);
+    EXPECT_GT(read, write);
+    EXPECT_GT(read, 0.99L);
+  }
+}
+
+TEST(StaticGrid, OptimizationHelpsWhenColumnsAreShort) {
+  coterie::GridDimensions dims = coterie::DefineGrid(7);  // 3x3, b = 2.
+  Real with = StaticGridWriteAvailability(dims, kP, true);
+  Real without = StaticGridWriteAvailability(dims, kP, false);
+  EXPECT_GT(with, without);
+}
+
+TEST(StaticGrid, MatchesEnumeratedAvailability) {
+  // Closed form vs brute-force enumeration through the real coterie rule.
+  coterie::GridCoterie grid;
+  for (uint32_t n : {4u, 6u, 9u, 12u}) {
+    Real closed = StaticGridWriteAvailability(coterie::DefineGrid(n), kP,
+                                              /*optimized=*/true);
+    Real brute = EnumeratedAvailability(grid, n, kP, /*read=*/false);
+    EXPECT_NEAR(static_cast<double>(closed), static_cast<double>(brute),
+                1e-12)
+        << "N=" << n;
+    Real closed_r = StaticGridReadAvailability(coterie::DefineGrid(n), kP);
+    Real brute_r = EnumeratedAvailability(grid, n, kP, /*read=*/true);
+    EXPECT_NEAR(static_cast<double>(closed_r), static_cast<double>(brute_r),
+                1e-12);
+  }
+}
+
+TEST(Majority, MatchesEnumeratedAvailability) {
+  coterie::MajorityCoterie majority;
+  for (uint32_t n : {3u, 5u, 9u, 12u}) {
+    Real closed = MajorityWriteAvailability(n, kP);
+    Real brute = EnumeratedAvailability(majority, n, kP, false);
+    EXPECT_NEAR(static_cast<double>(closed), static_cast<double>(brute),
+                1e-12)
+        << "N=" << n;
+  }
+}
+
+TEST(DynamicChain, MajorityBeatsGridSlightly) {
+  // Dynamic majority survives to 2-node epochs; dynamic grid only to 3.
+  for (uint32_t n : {9u, 12u}) {
+    auto grid = DynamicGridAvailability(n, kLambda, kMu);
+    auto maj = DynamicMajorityAvailability(n, kLambda, kMu);
+    ASSERT_TRUE(grid.ok() && maj.ok());
+    EXPECT_GT(*maj, *grid);
+  }
+}
+
+TEST(DynamicChain, MoreNodesMoreAvailability) {
+  Real prev = 0;
+  for (uint32_t n = 4; n <= 14; ++n) {
+    auto a = DynamicGridAvailability(n, kLambda, kMu);
+    ASSERT_TRUE(a.ok());
+    EXPECT_GT(*a, prev) << "N=" << n;
+    prev = *a;
+  }
+}
+
+TEST(DynamicChain, StructureMatchesFigure3) {
+  DynamicChain dc = BuildDynamicEpochChain(9, kLambda, kMu, 3);
+  // A_3..A_9 available states, plus 3 x 7 unavailable states.
+  EXPECT_EQ(dc.available_states.size(), 7u);
+  EXPECT_EQ(dc.chain.NumStates(), 7u + 3u * 7u);
+  // Spot-check transitions: A_9 loses a node at rate 9*lambda.
+  EXPECT_EQ(dc.chain.ExitRate(dc.available_states.back()),
+            9 * kLambda);
+}
+
+TEST(SiteModel, MonteCarloAgreesWithChainAtModerateP) {
+  // At p = 0.7 unavailability is large enough for Monte Carlo to see.
+  const Real lambda = 3.0L, mu = 7.0L;  // p = 0.7.
+  coterie::GridCoterie grid;
+  Rng rng(2024);
+  SiteModelResult sim =
+      SimulateDynamicSiteModel(grid, 9, lambda, mu, 300000.0L, &rng);
+  auto chain = DynamicEpochAvailability(9, lambda, mu, 3);
+  ASSERT_TRUE(chain.ok());
+  // The paper's count-based chain assumes every epoch of >= 4 nodes
+  // tolerates any single failure. The set-based truth disagrees at
+  // epoch size 5 (the 2x3 grid's third column holds a single node whose
+  // failure blocks all quorums), so at p = 0.7 the chain overestimates
+  // availability by a few points. See EXPERIMENTS.md.
+  EXPECT_NEAR(static_cast<double>(sim.availability),
+              static_cast<double>(*chain), 0.07);
+  EXPECT_LT(sim.availability, *chain);  // The bias has a known sign.
+  EXPECT_GT(sim.epoch_changes, 0u);
+}
+
+TEST(SiteModel, StaticSimulationAgreesWithClosedForm) {
+  const Real lambda = 3.0L, mu = 7.0L;
+  coterie::GridCoterie grid;
+  Rng rng(77);
+  SiteModelResult sim =
+      SimulateStaticSiteModel(grid, 9, lambda, mu, 200000.0L, &rng);
+  Real closed = StaticGridWriteAvailability(coterie::DefineGrid(9),
+                                            mu / (lambda + mu), true);
+  EXPECT_NEAR(static_cast<double>(sim.availability),
+              static_cast<double>(closed), 0.01);
+}
+
+TEST(SiteModel, DynamicStrictlyBeatsStatic) {
+  const Real lambda = 3.0L, mu = 7.0L;
+  coterie::GridCoterie grid;
+  Rng rng1(1), rng2(2);
+  SiteModelResult dyn =
+      SimulateDynamicSiteModel(grid, 9, lambda, mu, 100000.0L, &rng1);
+  SiteModelResult sta =
+      SimulateStaticSiteModel(grid, 9, lambda, mu, 100000.0L, &rng2);
+  EXPECT_GT(dyn.availability, sta.availability);
+}
+
+}  // namespace
+}  // namespace dcp::analysis

@@ -1,0 +1,160 @@
+#include "coterie/properties.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "coterie/grid.h"
+#include "coterie/hierarchical.h"
+#include "coterie/majority.h"
+#include "coterie/tree.h"
+
+namespace dcp::coterie {
+namespace {
+
+std::unique_ptr<CoterieRule> MakeRule(const std::string& name) {
+  if (name == "grid") return std::make_unique<GridCoterie>();
+  if (name == "grid_unopt") {
+    GridOptions o;
+    o.short_column_optimization = false;
+    return std::make_unique<GridCoterie>(o);
+  }
+  if (name == "grid_colsafe") {
+    GridOptions o;
+    o.layout = GridLayout::kColumnSafe;
+    return std::make_unique<GridCoterie>(o);
+  }
+  if (name == "grid_tall") {
+    GridOptions o;
+    o.prefer_tall = true;
+    return std::make_unique<GridCoterie>(o);
+  }
+  if (name == "majority") return std::make_unique<MajorityCoterie>();
+  if (name == "weighted") {
+    WeightedVotingCoterie::Options o;
+    o.votes = {{0, 3}, {1, 2}};  // Non-uniform votes.
+    return std::make_unique<WeightedVotingCoterie>(o);
+  }
+  if (name == "tree") return std::make_unique<TreeCoterie>();
+  if (name == "hierarchical") return std::make_unique<HierarchicalCoterie>();
+  return nullptr;
+}
+
+/// (rule name, N): exhaustive verification over the universe of size N.
+class CoterieExhaustive
+    : public ::testing::TestWithParam<std::tuple<std::string, uint32_t>> {};
+
+TEST_P(CoterieExhaustive, IntersectionAndExistence) {
+  auto [name, n] = GetParam();
+  auto rule = MakeRule(name);
+  ASSERT_NE(rule, nullptr);
+  NodeSet v = NodeSet::Universe(n);
+  Status s = VerifyCoterieExhaustive(*rule, v);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST_P(CoterieExhaustive, QuorumFunctionAgreesWithPredicates) {
+  auto [name, n] = GetParam();
+  auto rule = MakeRule(name);
+  NodeSet v = NodeSet::Universe(n);
+  Status s = VerifyQuorumFunction(*rule, v, /*selectors=*/64);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST_P(CoterieExhaustive, HoldsOverSparseNodeIds) {
+  // The epoch mechanism hands coterie rules arbitrary ordered sets, not
+  // just {0..n-1}; sparse ids must behave identically (positions by rank).
+  auto [name, n] = GetParam();
+  auto rule = MakeRule(name);
+  NodeSet v;
+  for (uint32_t i = 0; i < n; ++i) v.Insert(3 * i + 7);
+  Status s = VerifyCoterieExhaustive(*rule, v);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(VerifyQuorumFunction(*rule, v, 16).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRulesSmallN, CoterieExhaustive,
+    ::testing::Combine(::testing::Values("grid", "grid_unopt", "grid_colsafe",
+                                         "grid_tall", "majority",
+                                         "weighted", "tree", "hierarchical"),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                         10u, 12u, 14u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, uint32_t>>& i) {
+      return std::get<0>(i.param) + "_" +
+             std::to_string(std::get<1>(i.param));
+    });
+
+class CoterieRandomized
+    : public ::testing::TestWithParam<std::tuple<std::string, uint32_t>> {};
+
+TEST_P(CoterieRandomized, IntersectionOnLargeSets) {
+  auto [name, n] = GetParam();
+  auto rule = MakeRule(name);
+  NodeSet v = NodeSet::Universe(n);
+  Rng rng(n * 1000003);
+  Status s = VerifyCoterieRandomized(*rule, v, &rng, /*samples=*/300);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(VerifyQuorumFunction(*rule, v, 128).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRulesLargeN, CoterieRandomized,
+    ::testing::Combine(::testing::Values("grid", "grid_unopt", "grid_colsafe",
+                                         "grid_tall", "majority",
+                                         "weighted", "tree", "hierarchical"),
+                       ::testing::Values(20u, 30u, 50u, 100u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, uint32_t>>& i) {
+      return std::get<0>(i.param) + "_" +
+             std::to_string(std::get<1>(i.param));
+    });
+
+TEST(CoterieMinimalQuorums, GridMinimalWriteQuorumsAre2SqrtMinus1) {
+  GridCoterie grid;
+  NodeSet v = NodeSet::Universe(9);
+  auto writes = EnumerateMinimalQuorums(grid, v, /*read=*/false);
+  ASSERT_FALSE(writes.empty());
+  for (const NodeSet& w : writes) {
+    EXPECT_EQ(w.Size(), 5u) << w.ToString();  // 2*3 - 1.
+  }
+  auto reads = EnumerateMinimalQuorums(grid, v, /*read=*/true);
+  for (const NodeSet& r : reads) {
+    EXPECT_EQ(r.Size(), 3u) << r.ToString();
+  }
+  EXPECT_EQ(reads.size(), 27u);  // 3^3 column choices.
+}
+
+TEST(CoterieMinimalQuorums, MajorityMinimalQuorumsAreMajorities) {
+  MajorityCoterie majority;
+  NodeSet v = NodeSet::Universe(7);
+  auto writes = EnumerateMinimalQuorums(majority, v, false);
+  EXPECT_EQ(writes.size(), 35u);  // C(7,4).
+  for (const NodeSet& w : writes) EXPECT_EQ(w.Size(), 4u);
+}
+
+TEST(CoterieMinimalQuorums, TreeFailureFreePathIsLogSize) {
+  TreeCoterie tree;
+  NodeSet v = NodeSet::Universe(7);  // Perfect binary tree, height 2.
+  auto q = tree.ReadQuorum(v, 0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Size(), 3u);  // Root-to-leaf path.
+  auto quorums = EnumerateMinimalQuorums(tree, v, false);
+  // Paths of size 3 exist among the minimal quorums.
+  bool found_path = false;
+  for (const NodeSet& s : quorums) found_path |= s.Size() == 3;
+  EXPECT_TRUE(found_path);
+}
+
+TEST(WeightedVoting, VotesShiftQuorums) {
+  WeightedVotingCoterie::Options o;
+  o.votes = {{0, 5}};  // Node 0 dominates.
+  WeightedVotingCoterie rule(o);
+  NodeSet v = NodeSet::Universe(5);  // Total votes 5 + 4 = 9; majority 5.
+  EXPECT_TRUE(rule.IsWriteQuorum(v, NodeSet({0})));
+  EXPECT_FALSE(rule.IsWriteQuorum(v, NodeSet({1, 2, 3, 4})));
+}
+
+}  // namespace
+}  // namespace dcp::coterie

@@ -1,0 +1,233 @@
+#include "coterie/grid.h"
+
+#include "coterie/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp::coterie {
+namespace {
+
+TEST(DefineGrid, MatchesPaperExamples) {
+  // Figure 1: N = 14 -> 4x4 with 2 unoccupied positions.
+  GridDimensions d14 = DefineGrid(14);
+  EXPECT_EQ(d14.rows, 4u);
+  EXPECT_EQ(d14.cols, 4u);
+  EXPECT_EQ(d14.unoccupied, 2u);
+
+  // Figure 2: N = 3 -> 2x2 with 1 unoccupied position.
+  GridDimensions d3 = DefineGrid(3);
+  EXPECT_EQ(d3.rows, 2u);
+  EXPECT_EQ(d3.cols, 2u);
+  EXPECT_EQ(d3.unoccupied, 1u);
+}
+
+TEST(DefineGrid, TableOneDimensions) {
+  // Perfect and near-perfect factorizations used in Table 1.
+  struct Case {
+    uint32_t n, rows, cols, b;
+  };
+  const Case cases[] = {
+      {9, 3, 3, 0},  {12, 3, 4, 0},  {16, 4, 4, 0},
+      {20, 4, 5, 0}, {30, 5, 6, 0},  {5, 2, 3, 1},
+      {7, 3, 3, 2},  {2, 1, 2, 0},   {1, 1, 1, 0},
+  };
+  for (const Case& c : cases) {
+    GridDimensions d = DefineGrid(c.n);
+    EXPECT_EQ(d.rows, c.rows) << "N=" << c.n;
+    EXPECT_EQ(d.cols, c.cols) << "N=" << c.n;
+    EXPECT_EQ(d.unoccupied, c.b) << "N=" << c.n;
+  }
+}
+
+TEST(DefineGrid, InvariantsForAllSmallN) {
+  for (uint32_t n = 1; n <= 200; ++n) {
+    GridDimensions d = DefineGrid(n);
+    EXPECT_GE(d.rows * d.cols, n);
+    EXPECT_LT(d.unoccupied, d.cols) << "N=" << n;
+    EXPECT_LE(d.rows > d.cols ? d.rows - d.cols : d.cols - d.rows, 1u)
+        << "N=" << n;  // |m - n| <= 1.
+    EXPECT_EQ(d.unoccupied, d.rows * d.cols - n);
+  }
+}
+
+TEST(GridCoterie, PaperFigure1WriteQuorumExample) {
+  // The paper's example: in the N = 14 grid, {1,6,3,7,11,4} is a write
+  // quorum (node names are 1-based in the paper; our ids are 0-based, so
+  // subtract 1: {0,5,2,6,10,3}).
+  GridCoterie grid;
+  NodeSet v = NodeSet::Universe(14);
+  NodeSet quorum({0, 5, 2, 6, 10, 3});
+  EXPECT_TRUE(grid.IsWriteQuorum(v, quorum));
+  // {1,6,3,4} (0-based {0,5,2,3}) is the read-quorum part.
+  EXPECT_TRUE(grid.IsReadQuorum(v, NodeSet({0, 5, 2, 3})));
+  // Dropping the full column {3,7,11} -> {2,6,10} breaks the write
+  // property but keeps the read property.
+  NodeSet no_column({0, 5, 2, 3});
+  EXPECT_FALSE(grid.IsWriteQuorum(v, no_column));
+}
+
+TEST(GridCoterie, Figure2ThreeNodeGridUnoptimized) {
+  // Unoptimized: "one can see that all three nodes are needed".
+  GridOptions opts;
+  opts.short_column_optimization = false;
+  GridCoterie grid(opts);
+  NodeSet v = NodeSet::Universe(3);
+  EXPECT_TRUE(grid.IsWriteQuorum(v, NodeSet({0, 1, 2})));
+  EXPECT_FALSE(grid.IsWriteQuorum(v, NodeSet({0, 1})));
+  EXPECT_FALSE(grid.IsWriteQuorum(v, NodeSet({1, 2})));
+  EXPECT_FALSE(grid.IsWriteQuorum(v, NodeSet({0, 2})));
+}
+
+TEST(GridCoterie, Figure2ThreeNodeGridOptimized) {
+  // With the short-column optimization (Neuman), node 1 alone covers the
+  // second column, so {0,1} and {1,2} are write quorums.
+  GridCoterie grid;
+  NodeSet v = NodeSet::Universe(3);
+  EXPECT_TRUE(grid.IsWriteQuorum(v, NodeSet({0, 1})));
+  EXPECT_TRUE(grid.IsWriteQuorum(v, NodeSet({1, 2})));
+  EXPECT_FALSE(grid.IsWriteQuorum(v, NodeSet({0, 2})));  // Col 2 uncovered.
+  EXPECT_FALSE(grid.IsWriteQuorum(v, NodeSet({1})));     // Col 1 uncovered.
+}
+
+TEST(GridCoterie, ReadQuorumNeedsEveryColumn) {
+  GridCoterie grid;
+  NodeSet v = NodeSet::Universe(9);  // 3x3: columns {0,3,6},{1,4,7},{2,5,8}.
+  EXPECT_TRUE(grid.IsReadQuorum(v, NodeSet({0, 4, 8})));
+  EXPECT_TRUE(grid.IsReadQuorum(v, NodeSet({6, 7, 2})));
+  EXPECT_FALSE(grid.IsReadQuorum(v, NodeSet({0, 3, 6})));  // One column.
+  EXPECT_FALSE(grid.IsReadQuorum(v, NodeSet({0, 4})));
+}
+
+TEST(GridCoterie, WriteQuorumNeedsColumnCoverPlusFullColumn) {
+  GridCoterie grid;
+  NodeSet v = NodeSet::Universe(9);
+  EXPECT_TRUE(grid.IsWriteQuorum(v, NodeSet({0, 3, 6, 1, 2})));
+  EXPECT_FALSE(grid.IsWriteQuorum(v, NodeSet({0, 3, 6})));   // No cover.
+  EXPECT_FALSE(grid.IsWriteQuorum(v, NodeSet({0, 4, 8})));   // No column.
+  // Superset of a quorum is a quorum (monotonicity).
+  EXPECT_TRUE(grid.IsWriteQuorum(v, NodeSet({0, 3, 6, 1, 2, 4, 5})));
+}
+
+TEST(GridCoterie, QuorumsOverArbitraryOrderedSets) {
+  // The epoch mechanism feeds arbitrary node-id sets as V; positions are
+  // by rank. V = {10,20,30,40}: 2x2 grid, columns {10,30},{20,40}.
+  GridCoterie grid;
+  NodeSet v({10, 20, 30, 40});
+  EXPECT_TRUE(grid.IsWriteQuorum(v, NodeSet({10, 30, 20})));
+  EXPECT_FALSE(grid.IsWriteQuorum(v, NodeSet({10, 30})));
+  EXPECT_TRUE(grid.IsReadQuorum(v, NodeSet({10, 40})));
+  // Ids outside V are ignored.
+  EXPECT_FALSE(grid.IsReadQuorum(v, NodeSet({10, 99})));
+}
+
+TEST(GridCoterie, QuorumFunctionRotatesForLoadSharing) {
+  GridCoterie grid;
+  NodeSet v = NodeSet::Universe(16);
+  auto q0 = grid.WriteQuorum(v, 0);
+  auto q1 = grid.WriteQuorum(v, 1);
+  ASSERT_TRUE(q0.ok());
+  ASSERT_TRUE(q1.ok());
+  EXPECT_NE(*q0, *q1);  // Different selectors, different quorums.
+}
+
+TEST(GridCoterie, QuorumSizesAreSqrtScale) {
+  GridCoterie grid;
+  // For a k x k grid: read = k, write = 2k - 1.
+  for (uint32_t k : {3u, 4u, 5u}) {
+    NodeSet v = NodeSet::Universe(k * k);
+    auto r = grid.ReadQuorum(v, 0);
+    auto w = grid.WriteQuorum(v, 0);
+    ASSERT_TRUE(r.ok() && w.ok());
+    EXPECT_EQ(r->Size(), k);
+    EXPECT_EQ(w->Size(), 2 * k - 1);
+  }
+}
+
+TEST(GridCoterie, LayoutStringShowsGrid) {
+  std::string layout = GridCoterie::LayoutString(NodeSet::Universe(14));
+  // 4x4 grid with 2 unoccupied slots rendered as dots.
+  EXPECT_NE(layout.find("0 1 2 3"), std::string::npos);
+  EXPECT_NE(layout.find("12 13 . ."), std::string::npos);
+}
+
+TEST(DefineGridColumnSafe, EliminatesSingleNodeColumns) {
+  for (uint32_t n = 3; n <= 300; ++n) {
+    GridDimensions d = DefineGridColumnSafe(n);
+    uint32_t min_height = d.ColumnHeight(d.cols - 1);
+    EXPECT_GE(min_height, d.cols > 1 ? 2u : 1u) << "N=" << n;
+    EXPECT_EQ(d.rows * d.cols - d.unoccupied, n);
+    EXPECT_LT(d.unoccupied, d.cols);
+  }
+}
+
+TEST(DefineGridColumnSafe, MatchesPaperRuleWhenAlreadySafe) {
+  for (uint32_t n : {4u, 6u, 7u, 9u, 12u, 16u, 20u, 30u}) {
+    GridDimensions p = DefineGrid(n);
+    GridDimensions s = DefineGridColumnSafe(n);
+    EXPECT_EQ(p.rows, s.rows) << "N=" << n;
+    EXPECT_EQ(p.cols, s.cols) << "N=" << n;
+  }
+  // The affected sizes get reshaped.
+  GridDimensions s5 = DefineGridColumnSafe(5);
+  EXPECT_EQ(s5.rows, 3u);
+  EXPECT_EQ(s5.cols, 2u);
+  GridDimensions s3 = DefineGridColumnSafe(3);
+  EXPECT_EQ(s3.cols, 1u);
+}
+
+TEST(GridCoterie, ColumnSafeLayoutToleratesTheNFiveFailure) {
+  GridOptions opts;
+  opts.layout = GridLayout::kColumnSafe;
+  GridCoterie safe(opts);
+  GridCoterie paper;
+  NodeSet v = NodeSet::Universe(5);
+  // Paper rule: node 2 (the third column's only member) is in EVERY
+  // quorum; its loss is fatal.
+  NodeSet survivors({0, 1, 3, 4});
+  EXPECT_FALSE(paper.IsWriteQuorum(v, survivors));
+  EXPECT_FALSE(paper.IsReadQuorum(v, survivors));
+  // Column-safe rule (3x2): the same survivors hold a write quorum.
+  EXPECT_TRUE(safe.IsWriteQuorum(v, survivors));
+  // And in fact any single failure leaves a quorum.
+  for (NodeId victim = 0; victim < 5; ++victim) {
+    NodeSet rest = v;
+    rest.Erase(victim);
+    EXPECT_TRUE(safe.IsWriteQuorum(v, rest)) << "victim " << int(victim);
+  }
+}
+
+TEST(GridCoterie, PreferTallTradesReadCostForWriteAvailability) {
+  // The paper's ratio parameter k: 3x4 vs 4x3 for N = 12.
+  GridCoterie wide;  // Default: 3 rows x 4 cols.
+  GridOptions tall_opts;
+  tall_opts.prefer_tall = true;
+  GridCoterie tall(tall_opts);  // 4 rows x 3 cols.
+  NodeSet v = NodeSet::Universe(12);
+
+  auto wide_read = wide.ReadQuorum(v, 0);
+  auto tall_read = tall.ReadQuorum(v, 0);
+  ASSERT_TRUE(wide_read.ok() && tall_read.ok());
+  EXPECT_EQ(wide_read->Size(), 4u);  // One per column of 4.
+  EXPECT_EQ(tall_read->Size(), 3u);  // Cheaper reads.
+
+  // Write quorum sizes match (m + n - 1 either way), but the tall grid's
+  // full column is longer (4 nodes vs 3), making writes less available:
+  // P(some column fully up) is lower with taller columns.
+  auto wide_write = wide.WriteQuorum(v, 0);
+  auto tall_write = tall.WriteQuorum(v, 0);
+  EXPECT_EQ(wide_write->Size(), 6u);
+  EXPECT_EQ(tall_write->Size(), 6u);
+
+  // Both shapes still form valid coteries.
+  EXPECT_TRUE(coterie::VerifyCoterieExhaustive(tall, v).ok());
+}
+
+TEST(GridCoterie, EmptySetRejected) {
+  GridCoterie grid;
+  NodeSet empty;
+  EXPECT_FALSE(grid.IsReadQuorum(empty, empty));
+  EXPECT_FALSE(grid.ReadQuorum(empty, 0).ok());
+}
+
+}  // namespace
+}  // namespace dcp::coterie

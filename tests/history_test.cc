@@ -1,0 +1,118 @@
+#include "protocol/history.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp::protocol {
+namespace {
+
+using storage::Update;
+using storage::Version;
+
+HistoryRecorder::CommittedWrite W(Version v, Update u, sim::Time t) {
+  HistoryRecorder::CommittedWrite w;
+  w.version = v;
+  w.update = std::move(u);
+  w.decided_at = t;
+  w.coordinator = 0;
+  return w;
+}
+
+HistoryRecorder::CompletedRead R(Version v, std::vector<uint8_t> data,
+                                 sim::Time start, sim::Time end) {
+  HistoryRecorder::CompletedRead r;
+  r.version = v;
+  r.data = std::move(data);
+  r.started_at = start;
+  r.finished_at = end;
+  r.coordinator = 1;
+  return r;
+}
+
+TEST(History, EmptyHistoryIsSerializable) {
+  HistoryRecorder h;
+  EXPECT_TRUE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, ValidSequenceAccepted) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  h.RecordWriteDecision(W(2, Update::Partial(1, {'b'}), 20));
+  h.RecordRead(R(2, {'a', 'b'}, 25, 26));
+  h.RecordRead(R(1, {'a'}, 12, 13));
+  EXPECT_TRUE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, DuplicateVersionRejected) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'b'}), 20));
+  EXPECT_FALSE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, VersionGapRejected) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  h.RecordWriteDecision(W(3, Update::Partial(0, {'b'}), 20));
+  EXPECT_FALSE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, RealTimeOrderViolationRejected) {
+  HistoryRecorder h;
+  // v2 decided before v1: impossible under quorum locking.
+  h.RecordWriteDecision(W(2, Update::Partial(0, {'b'}), 5));
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  EXPECT_FALSE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, ReadWrongDataRejected) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  h.RecordRead(R(1, {'z'}, 12, 13));
+  EXPECT_FALSE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, StaleReadRejected) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  h.RecordWriteDecision(W(2, Update::Partial(0, {'b'}), 20));
+  // Read started at 30 (after v2's decision) but returned v1.
+  h.RecordRead(R(1, {'a'}, 30, 31));
+  EXPECT_FALSE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, ConcurrentReadMayReturnEitherVersion) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  h.RecordWriteDecision(W(2, Update::Partial(0, {'b'}), 20));
+  // Read started at 15, i.e. before v2 was decided: v1 is legal.
+  h.RecordRead(R(1, {'a'}, 15, 25));
+  EXPECT_TRUE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, ReadOfUnknownVersionRejected) {
+  HistoryRecorder h;
+  h.RecordRead(R(4, {'x'}, 1, 2));
+  EXPECT_FALSE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, ReplayRespectsInitialValue) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(1, {'X'}), 10));
+  h.RecordRead(R(1, {'a', 'X', 'c'}, 12, 13));
+  EXPECT_TRUE(h.CheckOneCopySerializable({'a', 'b', 'c'}).ok());
+  // Same read fails under a different initial value.
+  HistoryRecorder h2;
+  h2.RecordWriteDecision(W(1, Update::Partial(1, {'X'}), 10));
+  h2.RecordRead(R(1, {'a', 'X', 'c'}, 12, 13));
+  EXPECT_FALSE(h2.CheckOneCopySerializable({'q', 'q', 'q'}).ok());
+}
+
+TEST(History, TotalUpdatesReplayCorrectly) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Total({'n', 'e', 'w'}), 10));
+  h.RecordRead(R(1, {'n', 'e', 'w'}, 12, 13));
+  EXPECT_TRUE(h.CheckOneCopySerializable({'o', 'l', 'd', '!'}).ok());
+}
+
+}  // namespace
+}  // namespace dcp::protocol

@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+TEST(Logging, DefaultLevelIsWarn) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+}
+
+TEST(Logging, LevelGatesEmission) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(internal_logging::Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(internal_logging::Enabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kTrace);
+  EXPECT_TRUE(internal_logging::Enabled(LogLevel::kTrace));
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(internal_logging::Enabled(LogLevel::kError));
+  SetLogLevel(saved);
+}
+
+TEST(Logging, MacroCompilesAndStreams) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  // Gated off: the expression must still compile with mixed types.
+  DCP_LOG(kInfo) << "value " << 42 << " pi " << 3.14;
+  SetLogLevel(saved);
+}
+
+TEST(Logging, DisabledLevelSkipsStreamEvaluation) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "expensive";
+  };
+  DCP_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);  // Short-circuited by the if-guard.
+  SetLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace dcp

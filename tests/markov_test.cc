@@ -1,0 +1,103 @@
+#include "analysis/markov.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcp::analysis {
+namespace {
+
+TEST(MarkovChain, TwoStateClosedForm) {
+  // Up/down machine: fail rate l, repair rate m. pi_up = m / (l + m).
+  MarkovChain chain;
+  size_t up = chain.AddState("up");
+  size_t down = chain.AddState("down");
+  chain.AddTransition(up, down, 1.0L);
+  chain.AddTransition(down, up, 19.0L);
+  auto pi = chain.StationaryDistribution();
+  ASSERT_TRUE(pi.ok()) << pi.status().ToString();
+  EXPECT_NEAR(static_cast<double>((*pi)[up]), 0.95, 1e-15);
+  EXPECT_NEAR(static_cast<double>((*pi)[down]), 0.05, 1e-15);
+}
+
+TEST(MarkovChain, BirthDeathMatchesClosedForm) {
+  // M/M/1/K queue: pi_k = rho^k * (1 - rho) / (1 - rho^(K+1)).
+  const int kCapacity = 6;
+  const Real lambda = 2.0L, mu = 3.0L;
+  const Real rho = lambda / mu;
+  MarkovChain chain;
+  for (int k = 0; k <= kCapacity; ++k) {
+    chain.AddState("q" + std::to_string(k));
+  }
+  for (int k = 0; k < kCapacity; ++k) {
+    chain.AddTransition(k, k + 1, lambda);
+    chain.AddTransition(k + 1, k, mu);
+  }
+  auto pi = chain.StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  Real denom = (1 - std::pow(rho, kCapacity + 1)) / (1 - rho);
+  for (int k = 0; k <= kCapacity; ++k) {
+    Real expect = std::pow(rho, k) / denom;
+    EXPECT_NEAR(static_cast<double>((*pi)[k]), static_cast<double>(expect),
+                1e-14)
+        << "state " << k;
+  }
+}
+
+TEST(MarkovChain, IndependentNodesFactorize) {
+  // Two independent up/down nodes as one chain: pi(both up) = p^2.
+  const Real l = 1.0L, m = 19.0L;
+  MarkovChain chain;
+  // State = (up count); aggregate chain with rates scaled by counts.
+  size_t s2 = chain.AddState("2up");
+  size_t s1 = chain.AddState("1up");
+  size_t s0 = chain.AddState("0up");
+  chain.AddTransition(s2, s1, 2 * l);
+  chain.AddTransition(s1, s0, l);
+  chain.AddTransition(s1, s2, m);
+  chain.AddTransition(s0, s1, 2 * m);
+  auto pi = chain.StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  Real p = m / (l + m);
+  EXPECT_NEAR(static_cast<double>((*pi)[s2]), static_cast<double>(p * p),
+              1e-15);
+  EXPECT_NEAR(static_cast<double>((*pi)[s0]),
+              static_cast<double>((1 - p) * (1 - p)), 1e-15);
+}
+
+TEST(MarkovChain, AccumulatesParallelTransitions) {
+  MarkovChain chain;
+  size_t a = chain.AddState("a");
+  size_t b = chain.AddState("b");
+  chain.AddTransition(a, b, 1.0L);
+  chain.AddTransition(a, b, 2.0L);  // Accumulates to 3.
+  chain.AddTransition(b, a, 3.0L);
+  EXPECT_EQ(chain.ExitRate(a), 3.0L);
+  auto pi = chain.StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR(static_cast<double>((*pi)[a]), 0.5, 1e-15);
+}
+
+TEST(MarkovChain, SelfLoopsIgnored) {
+  MarkovChain chain;
+  size_t a = chain.AddState("a");
+  size_t b = chain.AddState("b");
+  chain.AddTransition(a, a, 100.0L);
+  chain.AddTransition(a, b, 1.0L);
+  chain.AddTransition(b, a, 1.0L);
+  EXPECT_EQ(chain.ExitRate(a), 1.0L);
+}
+
+TEST(MarkovChain, EmptyChainRejected) {
+  MarkovChain chain;
+  EXPECT_FALSE(chain.StationaryDistribution().ok());
+}
+
+TEST(MarkovChain, LabelsPreserved) {
+  MarkovChain chain;
+  size_t i = chain.AddState("A(9,9,0)");
+  EXPECT_EQ(chain.Label(i), "A(9,9,0)");
+}
+
+}  // namespace
+}  // namespace dcp::analysis

@@ -1,0 +1,93 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace dcp {
+namespace {
+
+TEST(Matrix, IdentityMultiply) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  Matrix prod = a.Multiply(Matrix::Identity(2));
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) EXPECT_EQ(prod.At(i, j), a.At(i, j));
+  }
+}
+
+TEST(SolveLinearSystem, Solves2x2) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 3;
+  auto x = SolveLinearSystem(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(static_cast<double>((*x)[0]), 1.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>((*x)[1]), 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(static_cast<double>((*x)[0]), 3.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>((*x)[1]), 2.0, 1e-15);
+}
+
+TEST(SolveLinearSystem, DetectsSingular) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  auto x = SolveLinearSystem(a, {1, 2});
+  EXPECT_FALSE(x.ok());
+}
+
+TEST(SolveLinearSystem, DimensionMismatch) {
+  Matrix a(2, 3);
+  auto x = SolveLinearSystem(a, {1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolveLinearSystem, RandomizedRoundTrip) {
+  Rng rng(77);
+  for (int iter = 0; iter < 20; ++iter) {
+    size_t n = 1 + rng.Uniform(25);
+    Matrix a(n, n);
+    std::vector<Real> x_true(n);
+    for (size_t i = 0; i < n; ++i) {
+      x_true[i] = static_cast<Real>(rng.NextDouble() * 10 - 5);
+      for (size_t j = 0; j < n; ++j) {
+        a.At(i, j) = static_cast<Real>(rng.NextDouble() * 2 - 1);
+      }
+      a.At(i, i) += static_cast<Real>(n);  // Diagonal dominance.
+    }
+    std::vector<Real> b(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) b[i] += a.At(i, j) * x_true[j];
+    }
+    auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(static_cast<double>((*x)[i]),
+                  static_cast<double>(x_true[i]), 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcp

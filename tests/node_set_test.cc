@@ -1,0 +1,112 @@
+#include "util/node_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace dcp {
+namespace {
+
+TEST(NodeSet, BasicInsertEraseContains) {
+  NodeSet s;
+  EXPECT_TRUE(s.Empty());
+  s.Insert(3);
+  s.Insert(100);
+  s.Insert(3);  // Duplicate.
+  EXPECT_EQ(s.Size(), 2u);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(100));
+  EXPECT_FALSE(s.Contains(4));
+  s.Erase(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Size(), 1u);
+  s.Erase(3);  // Idempotent.
+  EXPECT_EQ(s.Size(), 1u);
+}
+
+TEST(NodeSet, UniverseAndIteration) {
+  NodeSet s = NodeSet::Universe(5);
+  std::vector<NodeId> got;
+  for (NodeId n : s) got.push_back(n);
+  EXPECT_EQ(got, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(s.ToVector(), got);
+}
+
+TEST(NodeSet, OrderedIndexMatchesSortedPosition) {
+  NodeSet s({7, 2, 90, 41});
+  EXPECT_EQ(s.OrderedIndex(2), 0);
+  EXPECT_EQ(s.OrderedIndex(7), 1);
+  EXPECT_EQ(s.OrderedIndex(41), 2);
+  EXPECT_EQ(s.OrderedIndex(90), 3);
+  EXPECT_LT(s.OrderedIndex(5), 0);  // Non-member.
+}
+
+TEST(NodeSet, NthMemberInverseOfOrderedIndex) {
+  NodeSet s({7, 2, 90, 41, 64, 65, 66, 128});
+  for (uint32_t i = 0; i < s.Size(); ++i) {
+    NodeId n = s.NthMember(i);
+    EXPECT_EQ(s.OrderedIndex(n), static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(s.NthMember(s.Size()), kInvalidNode);
+}
+
+TEST(NodeSet, SetAlgebra) {
+  NodeSet a({1, 2, 3, 64});
+  NodeSet b({3, 64, 65});
+  EXPECT_EQ(a.Union(b), NodeSet({1, 2, 3, 64, 65}));
+  EXPECT_EQ(a.Intersection(b), NodeSet({3, 64}));
+  EXPECT_EQ(a.Difference(b), NodeSet({1, 2}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(NodeSet({1}).Intersects(NodeSet({2})));
+  EXPECT_TRUE(NodeSet({3, 64}).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(NodeSet{}.IsSubsetOf(a));
+}
+
+TEST(NodeSet, EqualityIgnoresCapacity) {
+  NodeSet a({1});
+  NodeSet b({1, 200});
+  b.Erase(200);  // Shrinks trailing words.
+  EXPECT_EQ(a, b);
+  NodeSet c({1, 200});
+  EXPECT_NE(a, c);
+}
+
+TEST(NodeSet, OrderingIsDeterministic) {
+  NodeSet a({1});
+  NodeSet b({2});
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+TEST(NodeSet, ToStringFormat) {
+  EXPECT_EQ(NodeSet({5, 1, 9}).ToString(), "{1,5,9}");
+  EXPECT_EQ(NodeSet{}.ToString(), "{}");
+}
+
+TEST(NodeSet, RandomizedAgainstStdSet) {
+  Rng rng(99);
+  NodeSet s;
+  std::set<NodeId> ref;
+  for (int i = 0; i < 2000; ++i) {
+    NodeId n = static_cast<NodeId>(rng.Uniform(300));
+    if (rng.Bernoulli(0.6)) {
+      s.Insert(n);
+      ref.insert(n);
+    } else {
+      s.Erase(n);
+      ref.erase(n);
+    }
+  }
+  EXPECT_EQ(s.Size(), ref.size());
+  std::vector<NodeId> expect(ref.begin(), ref.end());
+  EXPECT_EQ(s.ToVector(), expect);
+  for (NodeId n = 0; n < 300; ++n) {
+    EXPECT_EQ(s.Contains(n), ref.count(n) > 0) << n;
+  }
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,93 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dcp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(9);
+  double rate = 2.5;
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(11);
+  Rng fork1 = a.Fork();
+  Rng b(11);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fork1.Next64(), fork2.Next64());
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,97 @@
+#include "storage/replica_store.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp::storage {
+namespace {
+
+LockOwner Owner(NodeId c, uint64_t op) { return LockOwner{c, op}; }
+
+TEST(ReplicaStore, InitialState) {
+  ReplicaStore store(3, NodeSet::Universe(9));
+  EXPECT_EQ(store.self(), 3u);
+  EXPECT_EQ(store.version(), 0u);
+  EXPECT_FALSE(store.stale());
+  EXPECT_EQ(store.epoch_number(), 0u);
+  EXPECT_EQ(store.epoch_list(), NodeSet::Universe(9));
+  EXPECT_FALSE(store.IsLocked());
+}
+
+TEST(ReplicaStore, ExclusiveLockConflicts) {
+  ReplicaStore store(0, NodeSet::Universe(3));
+  EXPECT_TRUE(store.Lock(Owner(1, 1), true).ok());
+  EXPECT_TRUE(store.Lock(Owner(1, 1), true).ok());  // Re-entrant.
+  EXPECT_TRUE(store.Lock(Owner(2, 1), true).IsConflict());
+  EXPECT_TRUE(store.Lock(Owner(2, 1), false).IsConflict());
+  store.Unlock(Owner(1, 1));
+  EXPECT_TRUE(store.Lock(Owner(2, 1), true).ok());
+}
+
+TEST(ReplicaStore, SharedLocksCoexist) {
+  ReplicaStore store(0, NodeSet::Universe(3));
+  EXPECT_TRUE(store.Lock(Owner(1, 1), false).ok());
+  EXPECT_TRUE(store.Lock(Owner(2, 1), false).ok());
+  EXPECT_TRUE(store.HoldsLock(Owner(1, 1)));
+  EXPECT_TRUE(store.HoldsLock(Owner(2, 1)));
+  // Exclusive blocked while readers hold.
+  EXPECT_TRUE(store.Lock(Owner(3, 1), true).IsConflict());
+  store.Unlock(Owner(1, 1));
+  EXPECT_TRUE(store.Lock(Owner(3, 1), true).IsConflict());
+  store.Unlock(Owner(2, 1));
+  EXPECT_TRUE(store.Lock(Owner(3, 1), true).ok());
+}
+
+TEST(ReplicaStore, UnlockByNonOwnerIsNoOp) {
+  ReplicaStore store(0, NodeSet::Universe(3));
+  ASSERT_TRUE(store.Lock(Owner(1, 1), true).ok());
+  store.Unlock(Owner(2, 9));
+  EXPECT_TRUE(store.IsLocked());
+  EXPECT_TRUE(store.HoldsLock(Owner(1, 1)));
+}
+
+TEST(ReplicaStore, StaleMarking) {
+  ReplicaStore store(0, NodeSet::Universe(3));
+  store.MarkStale(5);
+  EXPECT_TRUE(store.stale());
+  EXPECT_EQ(store.desired_version(), 5u);
+  store.ClearStale();
+  EXPECT_FALSE(store.stale());
+  EXPECT_EQ(store.desired_version(), 0u);
+}
+
+TEST(ReplicaStore, EpochInstall) {
+  ReplicaStore store(0, NodeSet::Universe(5));
+  NodeSet smaller({0, 1, 2});
+  store.SetEpoch(3, smaller);
+  EXPECT_EQ(store.epoch_number(), 3u);
+  EXPECT_EQ(store.epoch_list(), smaller);
+}
+
+TEST(ReplicaStore, CrashClearsVolatileKeepsPersistent) {
+  ReplicaStore store(0, NodeSet::Universe(3));
+  store.object().Apply(Update::Partial(0, {1}));
+  store.MarkStale(7);
+  store.SetEpoch(2, NodeSet({0, 1}));
+  ASSERT_TRUE(store.Lock(Owner(1, 1), true).ok());
+  store.set_locked_for_propagation(true);
+
+  store.Crash();
+
+  EXPECT_FALSE(store.IsLocked());
+  EXPECT_FALSE(store.locked_for_propagation());
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_TRUE(store.stale());
+  EXPECT_EQ(store.desired_version(), 7u);
+  EXPECT_EQ(store.epoch_number(), 2u);
+}
+
+TEST(ReplicaStore, DebugStringMentionsState) {
+  ReplicaStore store(4, NodeSet::Universe(9));
+  store.MarkStale(2);
+  std::string s = store.DebugString();
+  EXPECT_NE(s.find("node 4"), std::string::npos);
+  EXPECT_NE(s.find("STALE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcp::storage

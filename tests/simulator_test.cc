@@ -1,0 +1,116 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcp::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, TiesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.Schedule(1.0, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(1.0, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 1.0);
+  EXPECT_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.Schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // Already cancelled.
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.Schedule(1.0, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t = 1; t <= 5; ++t) {
+    sim.Schedule(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.RunUntil(3.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(sim.Now(), 10.0);  // Clock advances to the deadline.
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(PeriodicTask, FiresRepeatedlyUntilStopped) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(&sim, 1.0, 2.0, [&] { ++count; });
+  sim.RunUntil(9.0);  // Fires at 1, 3, 5, 7, 9.
+  EXPECT_EQ(count, 5);
+  task.Stop();
+  sim.RunUntil(20.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(PeriodicTask, StopInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(&sim, 1.0, 1.0, [&] {
+    ++count;
+    if (count == 3) task.Stop();
+  });
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(&sim, 1.0, 1.0, [&] { ++count; });
+    sim.RunUntil(2.5);
+  }
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace dcp::sim

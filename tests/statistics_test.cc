@@ -1,0 +1,73 @@
+#include "util/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace dcp {
+namespace {
+
+TEST(SampleStats, EmptyIsZero) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Mean(), 0);
+  EXPECT_EQ(s.StdDev(), 0);
+  EXPECT_EQ(s.Percentile(50), 0);
+}
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 1e-3);  // Sample stddev.
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(SampleStats, PercentilesNearestRank) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_EQ(s.Percentile(50), 50);
+  EXPECT_EQ(s.Percentile(95), 95);
+  EXPECT_EQ(s.Percentile(99), 99);
+  EXPECT_EQ(s.Percentile(100), 100);
+  EXPECT_EQ(s.Percentile(0), 1);  // Clamped to the first sample.
+  EXPECT_EQ(s.Percentile(1), 1);
+}
+
+TEST(SampleStats, InterleavedAddAndQuery) {
+  SampleStats s;
+  s.Add(3);
+  EXPECT_EQ(s.Percentile(50), 3);
+  s.Add(1);  // Invalidates the sorted cache.
+  EXPECT_EQ(s.Min(), 1);
+  s.Add(2);
+  EXPECT_EQ(s.Percentile(50), 2);
+}
+
+TEST(SampleStats, GaussianSanity) {
+  Rng rng(7);
+  SampleStats s;
+  // Sum of 12 uniforms - 6 approximates N(0, 1).
+  for (int i = 0; i < 20000; ++i) {
+    double sum = 0;
+    for (int k = 0; k < 12; ++k) sum += rng.NextDouble();
+    s.Add(sum - 6.0);
+  }
+  EXPECT_NEAR(s.Mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.StdDev(), 1.0, 0.03);
+  EXPECT_NEAR(s.Percentile(50), 0.0, 0.05);
+  EXPECT_NEAR(s.Percentile(97.7), 2.0, 0.15);
+}
+
+TEST(SampleStats, ClearResets) {
+  SampleStats s;
+  s.Add(5);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Max(), 0);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,62 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace dcp {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::Unavailable("no quorum");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.message(), "no quorum");
+  EXPECT_EQ(s.ToString(), "Unavailable: no quorum");
+
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::StaleData("x").IsStaleData());
+  EXPECT_TRUE(Status::CallFailed("x").IsCallFailed());
+}
+
+TEST(Status, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::Conflict("a"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,141 @@
+// Dedicated behavioural tests for the tree (Agrawal-El Abbadi) and
+// hierarchical (Kumar) coteries beyond the generic property sweeps:
+// quorum sizes, graceful degradation under failures, and the structures
+// the constructions promise.
+
+#include <gtest/gtest.h>
+
+#include "coterie/hierarchical.h"
+#include "coterie/properties.h"
+#include "coterie/tree.h"
+
+namespace dcp::coterie {
+namespace {
+
+TEST(TreeCoterie, FailureFreeQuorumIsRootToLeafPath) {
+  TreeCoterie tree;
+  for (uint32_t n : {3u, 7u, 15u, 31u, 63u}) {
+    NodeSet v = NodeSet::Universe(n);
+    auto q = tree.ReadQuorum(v, 0);
+    ASSERT_TRUE(q.ok());
+    // Height of a complete binary tree with n = 2^k - 1 nodes is k.
+    uint32_t expected = 0;
+    for (uint32_t m = n; m > 0; m /= 2) ++expected;
+    EXPECT_EQ(q->Size(), expected) << "n=" << n;
+    // The path must start at the root (ordered index 0).
+    EXPECT_TRUE(q->Contains(v.NthMember(0)));
+  }
+}
+
+TEST(TreeCoterie, RootFailureDegradesToTwoSubtreeQuorums) {
+  TreeCoterie tree;
+  NodeSet v = NodeSet::Universe(7);
+  // Survivors exclude the root (node 0): a quorum must combine quorums
+  // of BOTH subtrees, e.g. {1,3} (left path) and {2,5} (right path).
+  NodeSet survivors({1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(tree.IsWriteQuorum(v, survivors));
+  EXPECT_TRUE(tree.IsWriteQuorum(v, NodeSet({1, 3, 2, 5})));
+  // One subtree alone does not suffice without the root.
+  EXPECT_FALSE(tree.IsWriteQuorum(v, NodeSet({1, 3, 4})));
+  // With the root, one subtree path suffices.
+  EXPECT_TRUE(tree.IsWriteQuorum(v, NodeSet({0, 1, 3})));
+}
+
+TEST(TreeCoterie, AllLeavesFailBlocksQuorums) {
+  TreeCoterie tree;
+  NodeSet v = NodeSet::Universe(7);  // Leaves: 3,4,5,6.
+  NodeSet internal({0, 1, 2});
+  // A quorum must reach a leaf (the recursion bottoms out at leaves).
+  EXPECT_FALSE(tree.IsWriteQuorum(v, internal));
+}
+
+TEST(TreeCoterie, SelectorRotatesAcrossPaths) {
+  TreeCoterie tree;
+  NodeSet v = NodeSet::Universe(15);
+  bool saw_different = false;
+  auto q0 = tree.ReadQuorum(v, 0);
+  for (uint64_t sel = 1; sel < 8 && !saw_different; ++sel) {
+    auto q = tree.ReadQuorum(v, sel);
+    saw_different = !(*q == *q0);
+  }
+  EXPECT_TRUE(saw_different);
+}
+
+TEST(HierarchicalCoterie, GroupSizesNearlyEqual) {
+  for (uint32_t n : {4u, 9u, 10u, 16u, 20u, 50u, 100u}) {
+    auto sizes = HierarchicalCoterie::GroupSizes(n);
+    uint32_t total = 0, lo = UINT32_MAX, hi = 0;
+    for (uint32_t s : sizes) {
+      total += s;
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    EXPECT_EQ(total, n);
+    EXPECT_LE(hi - lo, 1u) << "n=" << n;
+    // ceil(sqrt(n)) groups.
+    uint32_t expected_groups = 1;
+    while (expected_groups * expected_groups < n) ++expected_groups;
+    EXPECT_EQ(sizes.size(), expected_groups) << "n=" << n;
+  }
+}
+
+TEST(HierarchicalCoterie, QuorumSizeBetweenGridAndMajority) {
+  HierarchicalCoterie hqc;
+  // HQC quorum ~ ceil(g/2) * ceil(s/2): bigger than the grid's 2*sqrt(N)
+  // for large N but asymptotically ~N/4, smaller than the majority N/2.
+  NodeSet v = NodeSet::Universe(100);  // 10 groups of 10.
+  auto q = hqc.WriteQuorum(v, 0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Size(), 6u * 6u);  // Majority of 10 groups x majority of 10.
+  EXPECT_LT(q->Size(), 51u);      // Beats plain majority.
+}
+
+TEST(HierarchicalCoterie, SurvivesMinorityOfGroupsFailing) {
+  HierarchicalCoterie hqc;
+  NodeSet v = NodeSet::Universe(9);  // 3 groups of 3: {0,1,2},{3,4,5},{6,7,8}.
+  // Lose an entire group: the other two groups still hold 2-of-3 groups
+  // with majorities.
+  NodeSet survivors({0, 1, 2, 3, 4, 5});
+  EXPECT_TRUE(hqc.IsWriteQuorum(v, survivors));
+  EXPECT_TRUE(hqc.IsWriteQuorum(v, NodeSet({0, 1, 3, 4})));
+  // Majorities in only one group fail.
+  EXPECT_FALSE(hqc.IsWriteQuorum(v, NodeSet({0, 1, 2, 3, 6})));
+  // Minorities everywhere fail.
+  EXPECT_FALSE(hqc.IsWriteQuorum(v, NodeSet({0, 3, 6})));
+}
+
+TEST(HierarchicalCoterie, IgnoresNonMembers) {
+  HierarchicalCoterie hqc;
+  // 9 sparse ids -> 3 groups of 3: {10,20,30},{40,50,60},{70,80,90}.
+  NodeSet v({10, 20, 30, 40, 50, 60, 70, 80, 90});
+  // Majorities of groups 1 and 2 form a quorum.
+  EXPECT_TRUE(hqc.IsWriteQuorum(v, NodeSet({10, 20, 40, 50})));
+  // A non-member id contributes nothing: {10,20,40,99} covers a majority
+  // of group 1 only.
+  EXPECT_FALSE(hqc.IsWriteQuorum(v, NodeSet({10, 20, 40, 99})));
+}
+
+TEST(MonotonicityProperty, SupersetsOfQuorumsAreQuorums) {
+  // IsReadQuorum / IsWriteQuorum must be monotone in S — the epoch
+  // protocol depends on it (responses only ever add nodes).
+  TreeCoterie tree;
+  HierarchicalCoterie hqc;
+  Rng rng(55);
+  for (const CoterieRule* rule :
+       std::initializer_list<const CoterieRule*>{&tree, &hqc}) {
+    NodeSet v = NodeSet::Universe(12);
+    for (int iter = 0; iter < 200; ++iter) {
+      auto q = rule->WriteQuorum(v, rng.Next64());
+      ASSERT_TRUE(q.ok());
+      NodeSet super = *q;
+      for (NodeId extra = 0; extra < 12; ++extra) {
+        if (rng.Bernoulli(0.3)) super.Insert(extra);
+      }
+      EXPECT_TRUE(rule->IsWriteQuorum(v, super))
+          << rule->Name() << " " << super.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcp::coterie
