@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_sweep.dir/availability_sweep.cc.o"
+  "CMakeFiles/availability_sweep.dir/availability_sweep.cc.o.d"
+  "availability_sweep"
+  "availability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_latency.dir/client_latency.cc.o"
+  "CMakeFiles/client_latency.dir/client_latency.cc.o.d"
+  "client_latency"
+  "client_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

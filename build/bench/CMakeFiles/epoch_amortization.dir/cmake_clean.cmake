@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_amortization.dir/epoch_amortization.cc.o"
+  "CMakeFiles/epoch_amortization.dir/epoch_amortization.cc.o.d"
+  "epoch_amortization"
+  "epoch_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

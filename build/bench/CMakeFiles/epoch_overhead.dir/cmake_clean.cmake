@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_overhead.dir/epoch_overhead.cc.o"
+  "CMakeFiles/epoch_overhead.dir/epoch_overhead.cc.o.d"
+  "epoch_overhead"
+  "epoch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

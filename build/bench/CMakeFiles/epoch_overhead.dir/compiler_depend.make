@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for epoch_overhead.
+# This may be replaced when dependencies are built.

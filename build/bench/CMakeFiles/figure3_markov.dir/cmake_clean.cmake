@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_markov.dir/figure3_markov.cc.o"
+  "CMakeFiles/figure3_markov.dir/figure3_markov.cc.o.d"
+  "figure3_markov"
+  "figure3_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

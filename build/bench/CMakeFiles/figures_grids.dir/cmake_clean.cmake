@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_grids.dir/figures_grids.cc.o"
+  "CMakeFiles/figures_grids.dir/figures_grids.cc.o.d"
+  "figures_grids"
+  "figures_grids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_grids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figures_grids.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_construction.dir/grid_construction.cc.o"
+  "CMakeFiles/grid_construction.dir/grid_construction.cc.o.d"
+  "grid_construction"
+  "grid_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

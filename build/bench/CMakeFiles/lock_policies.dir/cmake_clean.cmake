@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_policies.dir/lock_policies.cc.o"
+  "CMakeFiles/lock_policies.dir/lock_policies.cc.o.d"
+  "lock_policies"
+  "lock_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

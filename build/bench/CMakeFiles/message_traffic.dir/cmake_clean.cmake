@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_traffic.dir/message_traffic.cc.o"
+  "CMakeFiles/message_traffic.dir/message_traffic.cc.o.d"
+  "message_traffic"
+  "message_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

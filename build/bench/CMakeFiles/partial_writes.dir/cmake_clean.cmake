@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_writes.dir/partial_writes.cc.o"
+  "CMakeFiles/partial_writes.dir/partial_writes.cc.o.d"
+  "partial_writes"
+  "partial_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

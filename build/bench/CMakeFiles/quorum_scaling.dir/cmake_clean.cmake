@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_scaling.dir/quorum_scaling.cc.o"
+  "CMakeFiles/quorum_scaling.dir/quorum_scaling.cc.o.d"
+  "quorum_scaling"
+  "quorum_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

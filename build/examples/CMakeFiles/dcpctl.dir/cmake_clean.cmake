@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpctl.dir/dcpctl.cpp.o"
+  "CMakeFiles/dcpctl.dir/dcpctl.cpp.o.d"
+  "dcpctl"
+  "dcpctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_file.dir/replicated_file.cpp.o"
+  "CMakeFiles/replicated_file.dir/replicated_file.cpp.o.d"
+  "replicated_file"
+  "replicated_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

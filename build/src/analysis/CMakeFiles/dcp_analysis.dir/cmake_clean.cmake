@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_analysis.dir/availability.cc.o"
+  "CMakeFiles/dcp_analysis.dir/availability.cc.o.d"
+  "CMakeFiles/dcp_analysis.dir/markov.cc.o"
+  "CMakeFiles/dcp_analysis.dir/markov.cc.o.d"
+  "libdcp_analysis.a"
+  "libdcp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

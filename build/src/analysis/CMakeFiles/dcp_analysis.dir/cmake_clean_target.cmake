@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcp_analysis.a"
+)

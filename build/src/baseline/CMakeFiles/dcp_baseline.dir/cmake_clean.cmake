@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_baseline.dir/accessible_copies.cc.o"
+  "CMakeFiles/dcp_baseline.dir/accessible_copies.cc.o.d"
+  "CMakeFiles/dcp_baseline.dir/dynamic_voting.cc.o"
+  "CMakeFiles/dcp_baseline.dir/dynamic_voting.cc.o.d"
+  "CMakeFiles/dcp_baseline.dir/static_protocol.cc.o"
+  "CMakeFiles/dcp_baseline.dir/static_protocol.cc.o.d"
+  "libdcp_baseline.a"
+  "libdcp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coterie/grid.cc" "src/coterie/CMakeFiles/dcp_coterie.dir/grid.cc.o" "gcc" "src/coterie/CMakeFiles/dcp_coterie.dir/grid.cc.o.d"
+  "/root/repo/src/coterie/hierarchical.cc" "src/coterie/CMakeFiles/dcp_coterie.dir/hierarchical.cc.o" "gcc" "src/coterie/CMakeFiles/dcp_coterie.dir/hierarchical.cc.o.d"
+  "/root/repo/src/coterie/majority.cc" "src/coterie/CMakeFiles/dcp_coterie.dir/majority.cc.o" "gcc" "src/coterie/CMakeFiles/dcp_coterie.dir/majority.cc.o.d"
+  "/root/repo/src/coterie/properties.cc" "src/coterie/CMakeFiles/dcp_coterie.dir/properties.cc.o" "gcc" "src/coterie/CMakeFiles/dcp_coterie.dir/properties.cc.o.d"
+  "/root/repo/src/coterie/tree.cc" "src/coterie/CMakeFiles/dcp_coterie.dir/tree.cc.o" "gcc" "src/coterie/CMakeFiles/dcp_coterie.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_coterie.dir/grid.cc.o"
+  "CMakeFiles/dcp_coterie.dir/grid.cc.o.d"
+  "CMakeFiles/dcp_coterie.dir/hierarchical.cc.o"
+  "CMakeFiles/dcp_coterie.dir/hierarchical.cc.o.d"
+  "CMakeFiles/dcp_coterie.dir/majority.cc.o"
+  "CMakeFiles/dcp_coterie.dir/majority.cc.o.d"
+  "CMakeFiles/dcp_coterie.dir/properties.cc.o"
+  "CMakeFiles/dcp_coterie.dir/properties.cc.o.d"
+  "CMakeFiles/dcp_coterie.dir/tree.cc.o"
+  "CMakeFiles/dcp_coterie.dir/tree.cc.o.d"
+  "libdcp_coterie.a"
+  "libdcp_coterie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_coterie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

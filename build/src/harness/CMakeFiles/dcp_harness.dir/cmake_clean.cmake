@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_harness.dir/fault_injector.cc.o"
+  "CMakeFiles/dcp_harness.dir/fault_injector.cc.o.d"
+  "CMakeFiles/dcp_harness.dir/workload.cc.o"
+  "CMakeFiles/dcp_harness.dir/workload.cc.o.d"
+  "libdcp_harness.a"
+  "libdcp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_net.dir/network.cc.o"
+  "CMakeFiles/dcp_net.dir/network.cc.o.d"
+  "CMakeFiles/dcp_net.dir/rpc.cc.o"
+  "CMakeFiles/dcp_net.dir/rpc.cc.o.d"
+  "libdcp_net.a"
+  "libdcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/cluster.cc" "src/protocol/CMakeFiles/dcp_protocol.dir/cluster.cc.o" "gcc" "src/protocol/CMakeFiles/dcp_protocol.dir/cluster.cc.o.d"
+  "/root/repo/src/protocol/epoch_daemon.cc" "src/protocol/CMakeFiles/dcp_protocol.dir/epoch_daemon.cc.o" "gcc" "src/protocol/CMakeFiles/dcp_protocol.dir/epoch_daemon.cc.o.d"
+  "/root/repo/src/protocol/history.cc" "src/protocol/CMakeFiles/dcp_protocol.dir/history.cc.o" "gcc" "src/protocol/CMakeFiles/dcp_protocol.dir/history.cc.o.d"
+  "/root/repo/src/protocol/operations.cc" "src/protocol/CMakeFiles/dcp_protocol.dir/operations.cc.o" "gcc" "src/protocol/CMakeFiles/dcp_protocol.dir/operations.cc.o.d"
+  "/root/repo/src/protocol/replica_node.cc" "src/protocol/CMakeFiles/dcp_protocol.dir/replica_node.cc.o" "gcc" "src/protocol/CMakeFiles/dcp_protocol.dir/replica_node.cc.o.d"
+  "/root/repo/src/protocol/two_phase.cc" "src/protocol/CMakeFiles/dcp_protocol.dir/two_phase.cc.o" "gcc" "src/protocol/CMakeFiles/dcp_protocol.dir/two_phase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dcp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/coterie/CMakeFiles/dcp_coterie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_protocol.dir/cluster.cc.o"
+  "CMakeFiles/dcp_protocol.dir/cluster.cc.o.d"
+  "CMakeFiles/dcp_protocol.dir/epoch_daemon.cc.o"
+  "CMakeFiles/dcp_protocol.dir/epoch_daemon.cc.o.d"
+  "CMakeFiles/dcp_protocol.dir/history.cc.o"
+  "CMakeFiles/dcp_protocol.dir/history.cc.o.d"
+  "CMakeFiles/dcp_protocol.dir/operations.cc.o"
+  "CMakeFiles/dcp_protocol.dir/operations.cc.o.d"
+  "CMakeFiles/dcp_protocol.dir/replica_node.cc.o"
+  "CMakeFiles/dcp_protocol.dir/replica_node.cc.o.d"
+  "CMakeFiles/dcp_protocol.dir/two_phase.cc.o"
+  "CMakeFiles/dcp_protocol.dir/two_phase.cc.o.d"
+  "libdcp_protocol.a"
+  "libdcp_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_sim.dir/simulator.cc.o"
+  "CMakeFiles/dcp_sim.dir/simulator.cc.o.d"
+  "libdcp_sim.a"
+  "libdcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_storage.dir/replica_store.cc.o"
+  "CMakeFiles/dcp_storage.dir/replica_store.cc.o.d"
+  "CMakeFiles/dcp_storage.dir/versioned_object.cc.o"
+  "CMakeFiles/dcp_storage.dir/versioned_object.cc.o.d"
+  "libdcp_storage.a"
+  "libdcp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

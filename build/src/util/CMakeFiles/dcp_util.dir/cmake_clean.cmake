@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_util.dir/logging.cc.o"
+  "CMakeFiles/dcp_util.dir/logging.cc.o.d"
+  "CMakeFiles/dcp_util.dir/matrix.cc.o"
+  "CMakeFiles/dcp_util.dir/matrix.cc.o.d"
+  "CMakeFiles/dcp_util.dir/node_set.cc.o"
+  "CMakeFiles/dcp_util.dir/node_set.cc.o.d"
+  "CMakeFiles/dcp_util.dir/random.cc.o"
+  "CMakeFiles/dcp_util.dir/random.cc.o.d"
+  "CMakeFiles/dcp_util.dir/status.cc.o"
+  "CMakeFiles/dcp_util.dir/status.cc.o.d"
+  "libdcp_util.a"
+  "libdcp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

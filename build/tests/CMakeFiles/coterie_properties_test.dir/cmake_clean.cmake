@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coterie_properties_test.dir/coterie_properties_test.cc.o"
+  "CMakeFiles/coterie_properties_test.dir/coterie_properties_test.cc.o.d"
+  "coterie_properties_test"
+  "coterie_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coterie_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_daemon_test.dir/epoch_daemon_test.cc.o"
+  "CMakeFiles/epoch_daemon_test.dir/epoch_daemon_test.cc.o.d"
+  "epoch_daemon_test"
+  "epoch_daemon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_epoch_test.dir/group_epoch_test.cc.o"
+  "CMakeFiles/group_epoch_test.dir/group_epoch_test.cc.o.d"
+  "group_epoch_test"
+  "group_epoch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_epoch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_policy_test.dir/lock_policy_test.cc.o"
+  "CMakeFiles/lock_policy_test.dir/lock_policy_test.cc.o.d"
+  "lock_policy_test"
+  "lock_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_set_test.dir/node_set_test.cc.o"
+  "CMakeFiles/node_set_test.dir/node_set_test.cc.o.d"
+  "node_set_test"
+  "node_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

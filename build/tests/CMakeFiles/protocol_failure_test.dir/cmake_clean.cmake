@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_failure_test.dir/protocol_failure_test.cc.o"
+  "CMakeFiles/protocol_failure_test.dir/protocol_failure_test.cc.o.d"
+  "protocol_failure_test"
+  "protocol_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_random_test.dir/protocol_random_test.cc.o"
+  "CMakeFiles/protocol_random_test.dir/protocol_random_test.cc.o.d"
+  "protocol_random_test"
+  "protocol_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

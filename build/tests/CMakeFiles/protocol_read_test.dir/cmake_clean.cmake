@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_read_test.dir/protocol_read_test.cc.o"
+  "CMakeFiles/protocol_read_test.dir/protocol_read_test.cc.o.d"
+  "protocol_read_test"
+  "protocol_read_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_store_test.dir/replica_store_test.cc.o"
+  "CMakeFiles/replica_store_test.dir/replica_store_test.cc.o.d"
+  "replica_store_test"
+  "replica_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_hierarchical_test.dir/tree_hierarchical_test.cc.o"
+  "CMakeFiles/tree_hierarchical_test.dir/tree_hierarchical_test.cc.o.d"
+  "tree_hierarchical_test"
+  "tree_hierarchical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_hierarchical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

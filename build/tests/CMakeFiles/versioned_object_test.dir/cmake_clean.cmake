@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_object_test.dir/versioned_object_test.cc.o"
+  "CMakeFiles/versioned_object_test.dir/versioned_object_test.cc.o.d"
+  "versioned_object_test"
+  "versioned_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
