@@ -217,7 +217,9 @@ bench/CMakeFiles/epoch_overhead.dir/epoch_overhead.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/message.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/message.h \
  /root/repo/src/sim/simulator.h /root/repo/src/util/random.h \
  /usr/include/c++/12/limits /root/repo/src/protocol/epoch_daemon.h \
  /root/repo/src/protocol/messages.h \

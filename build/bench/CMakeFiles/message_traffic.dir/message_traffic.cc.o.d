@@ -224,8 +224,9 @@ bench/CMakeFiles/message_traffic.dir/message_traffic.cc.o: \
  /root/repo/src/storage/replica_store.h \
  /root/repo/src/protocol/replica_node.h /root/repo/src/coterie/coterie.h \
  /root/repo/src/net/rpc.h /root/repo/src/net/network.h \
- /root/repo/src/util/random.h /usr/include/c++/12/limits \
- /root/repo/src/baseline/dynamic_voting.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/random.h \
+ /usr/include/c++/12/limits /root/repo/src/baseline/dynamic_voting.h \
  /root/repo/src/baseline/static_protocol.h \
  /root/repo/src/protocol/cluster.h /root/repo/src/coterie/grid.h \
  /root/repo/src/protocol/epoch_daemon.h

@@ -222,5 +222,6 @@ src/baseline/CMakeFiles/dcp_baseline.dir/accessible_copies.cc.o: \
  /root/repo/src/storage/replica_store.h \
  /root/repo/src/protocol/replica_node.h /root/repo/src/coterie/coterie.h \
  /root/repo/src/net/rpc.h /root/repo/src/net/network.h \
- /root/repo/src/util/random.h /usr/include/c++/12/limits \
- /root/repo/src/protocol/two_phase.h
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/random.h \
+ /usr/include/c++/12/limits /root/repo/src/protocol/two_phase.h

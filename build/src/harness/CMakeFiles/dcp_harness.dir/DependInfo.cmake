@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/harness/fault_injector.cc" "src/harness/CMakeFiles/dcp_harness.dir/fault_injector.cc.o" "gcc" "src/harness/CMakeFiles/dcp_harness.dir/fault_injector.cc.o.d"
+  "/root/repo/src/harness/nemesis.cc" "src/harness/CMakeFiles/dcp_harness.dir/nemesis.cc.o" "gcc" "src/harness/CMakeFiles/dcp_harness.dir/nemesis.cc.o.d"
   "/root/repo/src/harness/workload.cc" "src/harness/CMakeFiles/dcp_harness.dir/workload.cc.o" "gcc" "src/harness/CMakeFiles/dcp_harness.dir/workload.cc.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/dcp_harness.dir/fault_injector.cc.o"
   "CMakeFiles/dcp_harness.dir/fault_injector.cc.o.d"
+  "CMakeFiles/dcp_harness.dir/nemesis.cc.o"
+  "CMakeFiles/dcp_harness.dir/nemesis.cc.o.d"
   "CMakeFiles/dcp_harness.dir/workload.cc.o"
   "CMakeFiles/dcp_harness.dir/workload.cc.o.d"
   "libdcp_harness.a"

@@ -213,6 +213,8 @@ src/net/CMakeFiles/dcp_net.dir/rpc.cc.o: /root/repo/src/net/rpc.cc \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/message.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/util/node_set.h /root/repo/src/util/status.h \
- /root/repo/src/net/network.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/net/network.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/simulator.h \
  /root/repo/src/util/random.h /usr/include/c++/12/limits \
- /root/repo/src/util/result.h /usr/include/c++/12/optional
+ /root/repo/src/util/result.h

@@ -220,7 +220,9 @@ src/protocol/CMakeFiles/dcp_protocol.dir/epoch_daemon.cc.o: \
  /root/repo/src/storage/versioned_object.h /root/repo/src/util/result.h \
  /usr/include/c++/12/optional /root/repo/src/protocol/replica_node.h \
  /root/repo/src/coterie/coterie.h /root/repo/src/net/rpc.h \
- /root/repo/src/net/network.h /root/repo/src/util/random.h \
+ /root/repo/src/net/network.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/random.h \
  /usr/include/c++/12/limits /root/repo/src/protocol/operations.h \
  /root/repo/src/protocol/history.h /root/repo/src/util/logging.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \

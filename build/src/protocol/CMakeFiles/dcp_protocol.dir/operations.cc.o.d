@@ -220,8 +220,10 @@ src/protocol/CMakeFiles/dcp_protocol.dir/operations.cc.o: \
  /root/repo/src/storage/replica_store.h \
  /root/repo/src/protocol/replica_node.h /root/repo/src/coterie/coterie.h \
  /root/repo/src/net/rpc.h /root/repo/src/net/network.h \
- /root/repo/src/util/random.h /usr/include/c++/12/limits \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/random.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/protocol/two_phase.h /root/repo/src/util/logging.h \

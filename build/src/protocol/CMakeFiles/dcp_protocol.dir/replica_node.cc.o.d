@@ -215,7 +215,9 @@ src/protocol/CMakeFiles/dcp_protocol.dir/replica_node.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/message.h \
- /root/repo/src/net/network.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/net/network.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/simulator.h \
  /root/repo/src/util/random.h /usr/include/c++/12/limits \
  /root/repo/src/protocol/messages.h \
  /root/repo/src/storage/replica_store.h \

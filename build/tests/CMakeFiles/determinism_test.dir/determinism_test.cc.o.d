@@ -305,4 +305,4 @@ tests/CMakeFiles/determinism_test.dir/determinism_test.cc.o: \
  /root/repo/src/storage/versioned_object.h \
  /root/repo/src/protocol/replica_node.h /root/repo/src/net/rpc.h \
  /root/repo/src/protocol/history.h /root/repo/src/protocol/operations.h \
- /root/repo/src/harness/workload.h
+ /root/repo/src/harness/nemesis.h /root/repo/src/harness/workload.h

@@ -220,7 +220,9 @@ tests/CMakeFiles/epoch_daemon_test.dir/epoch_daemon_test.cc.o: \
  /root/repo/src/storage/versioned_object.h /root/repo/src/util/result.h \
  /usr/include/c++/12/optional /root/repo/src/protocol/replica_node.h \
  /root/repo/src/coterie/coterie.h /root/repo/src/net/rpc.h \
- /root/repo/src/net/network.h /root/repo/src/util/random.h \
+ /root/repo/src/net/network.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/random.h \
  /usr/include/c++/12/limits /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -279,8 +281,6 @@ tests/CMakeFiles/epoch_daemon_test.dir/epoch_daemon_test.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
  /root/miniconda/include/gtest/internal/gtest-string.h \

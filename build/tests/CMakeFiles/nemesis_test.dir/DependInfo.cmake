@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nemesis_test.cc" "tests/CMakeFiles/nemesis_test.dir/nemesis_test.cc.o" "gcc" "tests/CMakeFiles/nemesis_test.dir/nemesis_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dcp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/dcp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dcp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/coterie/CMakeFiles/dcp_coterie.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dcp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_test.dir/nemesis_test.cc.o"
+  "CMakeFiles/nemesis_test.dir/nemesis_test.cc.o.d"
+  "nemesis_test"
+  "nemesis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

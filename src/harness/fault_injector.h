@@ -30,7 +30,8 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Stops injecting. Already-queued fault events become no-ops (the
-  /// shared stop flag outlives the injector).
+  /// shared stop flag outlives the injector). Calling Stop() before any
+  /// queued event has fired neutralizes the whole schedule.
   void Stop() {
     if (state_) state_->stopped = true;
   }
@@ -44,6 +45,10 @@ class FaultInjector {
   }
 
  private:
+  /// `stopped` is a plain bool on purpose: the simulator is
+  /// single-threaded, so queued fault events and Stop() always run on the
+  /// same thread and a flag check is race-free. If the kernel ever grows
+  /// real threads, this must become atomic (or event cancellation).
   struct Shared {
     bool stopped = false;
   };

@@ -1,0 +1,259 @@
+#include "harness/nemesis.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dcp::harness {
+
+namespace {
+
+std::string KindName(NemesisEvent::Kind kind) {
+  switch (kind) {
+    case NemesisEvent::Kind::kCrashStorm: return "crash-storm";
+    case NemesisEvent::Kind::kPartition: return "partition";
+    case NemesisEvent::Kind::kAsymmetricCut: return "asymmetric-cut";
+    case NemesisEvent::Kind::kFlappingLink: return "flapping-link";
+    case NemesisEvent::Kind::kSlowLink: return "slow-link";
+    case NemesisEvent::Kind::kMessageChaos: return "message-chaos";
+  }
+  return "?";
+}
+
+std::string LinkName(const NemesisEvent& ev) {
+  return std::to_string(ev.src) + "->" + std::to_string(ev.dst);
+}
+
+}  // namespace
+
+std::string NemesisEvent::Describe() const {
+  std::string d = KindName(kind);
+  switch (kind) {
+    case Kind::kCrashStorm:
+      d += " " + nodes.ToString();
+      break;
+    case Kind::kPartition:
+      for (const NodeSet& g : groups) d += " " + g.ToString();
+      break;
+    case Kind::kAsymmetricCut:
+    case Kind::kFlappingLink:
+    case Kind::kSlowLink:
+      d += " " + LinkName(*this);
+      break;
+    case Kind::kMessageChaos:
+      d += " drop=" + std::to_string(faults.drop) +
+           " dup=" + std::to_string(faults.duplicate) +
+           " reorder=" + std::to_string(faults.reorder);
+      break;
+  }
+  return d;
+}
+
+Scenario RandomScenario(uint64_t seed, uint32_t num_nodes,
+                        sim::Time horizon) {
+  Scenario s;
+  s.name = "random-" + std::to_string(seed);
+  Rng rng(seed);
+
+  s.churn = true;
+  s.churn_mtbf = 6000 + rng.NextDouble() * 6000;
+  s.churn_mttr = 600 + rng.NextDouble() * 900;
+  s.churn_seed = rng.Next64();
+
+  // Sequential, non-overlapping windows: each event fully lifts before the
+  // next applies, so arbitrary kinds compose without conflicting state.
+  sim::Time t = 200 + rng.NextDouble() * 300;
+  while (t < horizon * 0.7) {
+    NemesisEvent ev;
+    ev.at = t;
+    ev.duration = 400 + rng.NextDouble() * 800;
+    switch (rng.Uniform(6)) {
+      case 0: {
+        ev.kind = NemesisEvent::Kind::kCrashStorm;
+        uint32_t victims =
+            1 + static_cast<uint32_t>(rng.Uniform(std::max(1u, num_nodes / 3)));
+        while (ev.nodes.Size() < victims) {
+          ev.nodes.Insert(static_cast<NodeId>(rng.Uniform(num_nodes)));
+        }
+        break;
+      }
+      case 1: {
+        ev.kind = NemesisEvent::Kind::kPartition;
+        NodeSet a, b;
+        for (NodeId n = 0; n < num_nodes; ++n) {
+          (rng.Bernoulli(0.5) ? a : b).Insert(n);
+        }
+        if (a.Empty() || b.Empty()) {  // Degenerate split: cut one node off.
+          a = NodeSet({static_cast<NodeId>(rng.Uniform(num_nodes))});
+          b = NodeSet::Universe(num_nodes).Difference(a);
+        }
+        ev.groups = {a, b};
+        break;
+      }
+      case 2: {
+        ev.kind = NemesisEvent::Kind::kAsymmetricCut;
+        ev.src = static_cast<NodeId>(rng.Uniform(num_nodes));
+        do {
+          ev.dst = static_cast<NodeId>(rng.Uniform(num_nodes));
+        } while (ev.dst == ev.src);
+        break;
+      }
+      case 3: {
+        ev.kind = NemesisEvent::Kind::kFlappingLink;
+        ev.src = static_cast<NodeId>(rng.Uniform(num_nodes));
+        do {
+          ev.dst = static_cast<NodeId>(rng.Uniform(num_nodes));
+        } while (ev.dst == ev.src);
+        ev.flap_period = 30 + rng.NextDouble() * 60;
+        break;
+      }
+      case 4: {
+        ev.kind = NemesisEvent::Kind::kSlowLink;
+        ev.src = static_cast<NodeId>(rng.Uniform(num_nodes));
+        do {
+          ev.dst = static_cast<NodeId>(rng.Uniform(num_nodes));
+        } while (ev.dst == ev.src);
+        ev.faults.latency =
+            net::LatencyModel{20 + rng.NextDouble() * 40, 10.0};
+        break;
+      }
+      default: {
+        ev.kind = NemesisEvent::Kind::kMessageChaos;
+        ev.faults.drop = 0.05 + rng.NextDouble() * 0.10;
+        ev.faults.duplicate = rng.NextDouble() * 0.15;
+        ev.faults.reorder = rng.NextDouble() * 0.30;
+        ev.faults.reorder_spike = 30.0;
+        break;
+      }
+    }
+    s.events.push_back(ev);
+    t = ev.at + ev.duration + 200 + rng.NextDouble() * 400;
+  }
+  return s;
+}
+
+Nemesis::Nemesis(protocol::Cluster* cluster, Scenario scenario)
+    : cluster_(cluster), scenario_(std::move(scenario)) {
+  state_ = std::make_shared<Shared>();
+  baseline_global_ = cluster_->network().fault_model().global;
+  if (scenario_.churn) {
+    FaultInjector::Options copts;
+    copts.mtbf = scenario_.churn_mtbf;
+    copts.mttr = scenario_.churn_mttr;
+    copts.seed = scenario_.churn_seed;
+    churn_ = std::make_unique<FaultInjector>(cluster_, copts);
+  }
+  for (const NemesisEvent& ev : scenario_.events) ScheduleEvent(ev);
+}
+
+Nemesis::~Nemesis() { Stop(); }
+
+void Nemesis::Record(std::string description) {
+  log_.push_back({cluster_->simulator().Now(), std::move(description)});
+}
+
+void Nemesis::ScheduleEvent(const NemesisEvent& ev) {
+  std::shared_ptr<Shared> state = state_;
+  sim::Simulator& sim = cluster_->simulator();
+  sim.Schedule(ev.at, [this, state, ev] {
+    if (state->stopped) return;
+    Apply(ev);
+  });
+  sim.Schedule(ev.at + ev.duration, [this, state, ev] {
+    if (state->stopped) return;
+    Lift(ev);
+  });
+  if (ev.kind == NemesisEvent::Kind::kFlappingLink) {
+    // Pre-compute the whole flap train; each toggle checks the stop flag.
+    bool cut = false;
+    for (sim::Time when = ev.at + ev.flap_period; when < ev.at + ev.duration;
+         when += ev.flap_period) {
+      cut = !cut;
+      bool restore = cut;  // First toggle restores (Apply() cuts).
+      sim.Schedule(when, [this, state, ev, restore] {
+        if (state->stopped) return;
+        if (restore) {
+          cluster_->RestoreLink(ev.src, ev.dst);
+          cluster_->RestoreLink(ev.dst, ev.src);
+        } else {
+          cluster_->CutLink(ev.src, ev.dst);
+          cluster_->CutLink(ev.dst, ev.src);
+        }
+        Record("flap " + LinkName(ev) + (restore ? " up" : " down"));
+      });
+    }
+  }
+}
+
+void Nemesis::Apply(const NemesisEvent& ev) {
+  Record("apply " + ev.Describe());
+  switch (ev.kind) {
+    case NemesisEvent::Kind::kCrashStorm:
+      for (NodeId n : ev.nodes) {
+        if (cluster_->network().IsUp(n)) cluster_->Crash(n);
+      }
+      break;
+    case NemesisEvent::Kind::kPartition:
+      cluster_->Partition(ev.groups);
+      break;
+    case NemesisEvent::Kind::kAsymmetricCut:
+      cluster_->CutLink(ev.src, ev.dst);
+      break;
+    case NemesisEvent::Kind::kFlappingLink:
+      cluster_->CutLink(ev.src, ev.dst);
+      cluster_->CutLink(ev.dst, ev.src);
+      break;
+    case NemesisEvent::Kind::kSlowLink:
+      cluster_->InjectLinkFault(ev.src, ev.dst, ev.faults);
+      cluster_->InjectLinkFault(ev.dst, ev.src, ev.faults);
+      break;
+    case NemesisEvent::Kind::kMessageChaos:
+      ++chaos_active_;
+      cluster_->SetGlobalFaults(ev.faults);
+      break;
+  }
+}
+
+void Nemesis::Lift(const NemesisEvent& ev) {
+  Record("lift " + ev.Describe());
+  switch (ev.kind) {
+    case NemesisEvent::Kind::kCrashStorm:
+      for (NodeId n : ev.nodes) {
+        if (!cluster_->network().IsUp(n)) cluster_->Recover(n);
+      }
+      break;
+    case NemesisEvent::Kind::kPartition:
+      cluster_->Heal();
+      break;
+    case NemesisEvent::Kind::kAsymmetricCut:
+      cluster_->RestoreLink(ev.src, ev.dst);
+      break;
+    case NemesisEvent::Kind::kFlappingLink:
+      cluster_->RestoreLink(ev.src, ev.dst);
+      cluster_->RestoreLink(ev.dst, ev.src);
+      break;
+    case NemesisEvent::Kind::kSlowLink:
+      cluster_->InjectLinkFault(ev.src, ev.dst, net::LinkFaults{});
+      cluster_->InjectLinkFault(ev.dst, ev.src, net::LinkFaults{});
+      break;
+    case NemesisEvent::Kind::kMessageChaos:
+      if (--chaos_active_ <= 0) cluster_->SetGlobalFaults(baseline_global_);
+      break;
+  }
+}
+
+void Nemesis::Stop() {
+  if (state_) state_->stopped = true;
+  if (churn_) churn_->Stop();
+}
+
+void Nemesis::StopAndHeal() {
+  Stop();
+  cluster_->Heal();
+  cluster_->ClearNetworkFaults();
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    if (!cluster_->network().IsUp(n)) cluster_->Recover(n);
+  }
+  Record("stop-and-heal");
+}
+
+}  // namespace dcp::harness

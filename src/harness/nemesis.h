@@ -1,0 +1,125 @@
+#ifndef DCP_HARNESS_NEMESIS_H_
+#define DCP_HARNESS_NEMESIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/fault_injector.h"
+#include "net/network.h"
+#include "protocol/cluster.h"
+#include "util/random.h"
+
+namespace dcp::harness {
+
+/// One timed entry of a declarative fault schedule. Every event has a
+/// start time (relative to Nemesis construction), a duration after which
+/// the nemesis lifts it again, and kind-specific parameters.
+struct NemesisEvent {
+  enum class Kind {
+    kCrashStorm,     ///< Crash every node in `nodes`; recover at the end.
+    kPartition,      ///< Install `groups`; heal at the end.
+    kAsymmetricCut,  ///< Cut the directed link src -> dst only.
+    kFlappingLink,   ///< Toggle the src <-> dst link every `flap_period`.
+    kSlowLink,       ///< Apply `faults` (latency override) to src <-> dst.
+    kMessageChaos,   ///< Apply `faults` (drop/dup/reorder) to every link.
+  };
+
+  Kind kind = Kind::kMessageChaos;
+  sim::Time at = 0;
+  sim::Time duration = 0;
+  NodeSet nodes;                ///< kCrashStorm victims.
+  std::vector<NodeSet> groups;  ///< kPartition connectivity groups.
+  NodeId src = kInvalidNode;    ///< Link-event endpoints.
+  NodeId dst = kInvalidNode;
+  sim::Time flap_period = 50;   ///< kFlappingLink toggle period.
+  net::LinkFaults faults;       ///< kSlowLink / kMessageChaos knobs.
+
+  std::string Describe() const;
+};
+
+/// A declarative, replayable fault schedule: timed events plus optional
+/// background crash/recovery churn (delegated to FaultInjector). A
+/// Scenario is pure data — generate it once (e.g. RandomScenario) and
+/// every Nemesis run of it replays the exact same schedule.
+struct Scenario {
+  std::string name = "scenario";
+  std::vector<NemesisEvent> events;
+
+  /// Background node churn, on top of the timed events.
+  bool churn = false;
+  double churn_mtbf = 8000;
+  double churn_mttr = 1200;
+  uint64_t churn_seed = 1;
+};
+
+/// Generates a random scenario covering roughly the first 70% of
+/// `horizon`: a sequence of non-overlapping crash storms, partitions,
+/// asymmetric cuts, flapping links, slow-link epochs, and message-chaos
+/// windows, plus background churn — all derived deterministically from
+/// `seed` (same seed, same nodes, same horizon => identical scenario).
+Scenario RandomScenario(uint64_t seed, uint32_t num_nodes, sim::Time horizon);
+
+/// The nemesis: executes a Scenario against a live Cluster. All
+/// randomness lives in scenario *generation*; execution is a deterministic
+/// unfolding of the schedule, so a run is replayable from the scenario
+/// alone. Faults the nemesis applied are recorded in `log()` with their
+/// simulation time, which doubles as the determinism fingerprint.
+///
+/// Single-threaded-simulator assumption: the stop flag below is a plain
+/// bool because events and Stop() all run on the one simulator thread;
+/// there is no cross-thread signalling to worry about.
+class Nemesis {
+ public:
+  struct AppliedFault {
+    sim::Time at = 0;
+    std::string description;
+
+    bool operator==(const AppliedFault&) const = default;
+  };
+
+  /// Starts executing immediately; the cluster must outlive the nemesis.
+  Nemesis(protocol::Cluster* cluster, Scenario scenario);
+  ~Nemesis();
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Stops the schedule (queued events become no-ops) and the churn.
+  /// Standing faults are left in place — use StopAndHeal to lift them.
+  void Stop();
+
+  /// Stop() + lifts everything: heals partitions, clears the fault model
+  /// and link cuts, and recovers every down node, so the cluster can
+  /// reach quiescence and its invariants can be checked.
+  void StopAndHeal();
+
+  const Scenario& scenario() const { return scenario_; }
+  const std::vector<AppliedFault>& log() const { return log_; }
+  uint64_t faults_applied() const { return log_.size(); }
+  const FaultInjector* churn() const { return churn_.get(); }
+
+ private:
+  struct Shared {
+    bool stopped = false;
+  };
+
+  void ScheduleEvent(const NemesisEvent& ev);
+  void Apply(const NemesisEvent& ev);
+  void Lift(const NemesisEvent& ev);
+  void Record(std::string description);
+
+  protocol::Cluster* cluster_;
+  Scenario scenario_;
+  std::shared_ptr<Shared> state_;
+  std::unique_ptr<FaultInjector> churn_;
+  std::vector<AppliedFault> log_;
+  /// Global faults present before any chaos window, restored after the
+  /// last active window ends (chaos composes with a standing model).
+  net::LinkFaults baseline_global_;
+  int chaos_active_ = 0;
+};
+
+}  // namespace dcp::harness
+
+#endif  // DCP_HARNESS_NEMESIS_H_

@@ -54,6 +54,9 @@ class WorkloadDriver {
   WorkloadDriver(const WorkloadDriver&) = delete;
   WorkloadDriver& operator=(const WorkloadDriver&) = delete;
 
+  /// Stops issuing. Already-queued arrival events (and completions of
+  /// in-flight operations) become stat no-ops — calling Stop() before any
+  /// queued event has fired neutralizes the whole schedule.
   void Stop() {
     if (state_) state_->stopped = true;
   }
@@ -62,6 +65,10 @@ class WorkloadDriver {
   const OpStats& reads() const { return reads_; }
 
  private:
+  /// `stopped` is a plain bool on purpose: the simulator is
+  /// single-threaded, so queued arrival events and Stop() always run on
+  /// the same thread and a flag check is race-free. If the kernel ever
+  /// grows real threads, this must become atomic.
   struct Shared {
     bool stopped = false;
   };

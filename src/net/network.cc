@@ -48,20 +48,55 @@ bool Network::SameGroup(NodeId a, NodeId b) const {
 }
 
 bool Network::Reachable(NodeId a, NodeId b) const {
-  return IsUp(a) && IsUp(b) && SameGroup(a, b);
+  return IsUp(a) && IsUp(b) && SameGroup(a, b) && !LinkCut(a, b);
 }
 
-sim::Time Network::SampleLatency() {
-  return latency_.base + rng_.NextDouble() * latency_.jitter;
+void Network::EnsureFaultRng() {
+  if (fault_rng_seeded_) return;
+  fault_rng_seeded_ = true;
+  fault_rng_.Seed(rng_.Next64());
 }
 
-void Network::Send(Message msg, std::function<void()> on_failed) {
-  // A crashed node cannot emit messages (fail-stop).
-  if (!IsUp(msg.src)) return;
-  ++stats_.total_sent;
-  ++stats_.by_type[msg.type].sent;
+void Network::set_fault_model(FaultModel model) {
+  fault_model_ = std::move(model);
+  if (!fault_model_.trivial()) EnsureFaultRng();
+}
 
-  sim::Time latency = SampleLatency();
+void Network::SetLinkFaults(NodeId src, NodeId dst, const LinkFaults& faults) {
+  if (faults.trivial()) {
+    fault_model_.per_link.erase({src, dst});
+  } else {
+    fault_model_.per_link[{src, dst}] = faults;
+    EnsureFaultRng();
+  }
+}
+
+void Network::SetGlobalFaults(const LinkFaults& faults) {
+  fault_model_.global = faults;
+  if (!faults.trivial()) EnsureFaultRng();
+}
+
+void Network::CutLink(NodeId src, NodeId dst) { cut_links_.insert({src, dst}); }
+
+void Network::RestoreLink(NodeId src, NodeId dst) {
+  cut_links_.erase({src, dst});
+}
+
+bool Network::LinkCut(NodeId src, NodeId dst) const {
+  return cut_links_.count({src, dst}) > 0;
+}
+
+void Network::ClearFaults() {
+  fault_model_ = FaultModel{};
+  cut_links_.clear();
+}
+
+sim::Time Network::SampleLatency(const LatencyModel& model) {
+  return model.base + rng_.NextDouble() * model.jitter;
+}
+
+void Network::ScheduleDelivery(Message msg, sim::Time latency,
+                               std::function<void()> on_failed) {
   NodeId src = msg.src;
   NodeId dst = msg.dst;
   std::string type = msg.type;
@@ -71,7 +106,7 @@ void Network::Send(Message msg, std::function<void()> on_failed) {
     // Delivery needs the destination alive and the link intact. The
     // *sender* crashing after the send does not recall the message —
     // it is already on the wire.
-    if (IsUp(dst) && SameGroup(src, dst)) {
+    if (IsUp(dst) && SameGroup(src, dst) && !LinkCut(src, dst)) {
       ++stats_.total_delivered;
       ++stats_.by_type[type].delivered;
       ++stats_.delivered_to[dst];
@@ -85,6 +120,60 @@ void Network::Send(Message msg, std::function<void()> on_failed) {
       if (on_failed && IsUp(src)) on_failed();
     }
   });
+}
+
+void Network::Send(Message msg, std::function<void()> on_failed) {
+  // A crashed node cannot emit messages (fail-stop).
+  if (!IsUp(msg.src)) return;
+  ++stats_.total_sent;
+  ++stats_.by_type[msg.type].sent;
+
+  // The trivial-model fast path must not touch fault_rng_, so fault-free
+  // runs consume exactly the random stream they always did.
+  const LinkFaults* faults = nullptr;
+  if (!fault_model_.trivial()) {
+    const LinkFaults& f = fault_model_.For(msg.src, msg.dst);
+    if (!f.trivial()) faults = &f;
+  }
+  const LatencyModel& model =
+      (faults && faults->latency) ? *faults->latency : latency_;
+
+  if (faults == nullptr) {
+    ScheduleDelivery(std::move(msg), SampleLatency(model),
+                     std::move(on_failed));
+    return;
+  }
+
+  if (faults->drop > 0 && fault_rng_.Bernoulli(faults->drop)) {
+    ++stats_.total_dropped;
+    ++stats_.by_type[msg.type].dropped;
+    // A dropped message is indistinguishable from an unreachable
+    // destination at the transport layer: the sender still learns (via
+    // on_failed, i.e. RPC.CallFailed) at the would-be delivery time.
+    // Dropped responses carry no on_failed and surface as caller timeout.
+    NodeId src = msg.src;
+    sim_->Schedule(SampleLatency(model),
+                   [this, src, on_failed = std::move(on_failed)] {
+                     if (on_failed && IsUp(src)) on_failed();
+                   });
+    return;
+  }
+
+  sim::Time latency = SampleLatency(model);
+  if (faults->reorder > 0 && fault_rng_.Bernoulli(faults->reorder)) {
+    ++stats_.total_reordered;
+    latency += fault_rng_.NextDouble() * faults->reorder_spike;
+  }
+  if (faults->duplicate > 0 && fault_rng_.Bernoulli(faults->duplicate)) {
+    ++stats_.total_duplicated;
+    ++stats_.by_type[msg.type].duplicated;
+    // The copy takes its own (possibly overtaking) latency sample and
+    // carries no on_failed: the original already reports transport
+    // failure, and CallFailed must not fire twice per logical send.
+    Message copy = msg;
+    ScheduleDelivery(std::move(copy), SampleLatency(model), nullptr);
+  }
+  ScheduleDelivery(std::move(msg), latency, std::move(on_failed));
 }
 
 }  // namespace dcp::net

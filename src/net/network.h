@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -27,11 +30,54 @@ struct LatencyModel {
   sim::Time jitter = 0.5;
 };
 
+/// Message-fault knobs for one directed link (or, as FaultModel::global,
+/// for every link). The default-constructed value is *trivial*: it injects
+/// nothing and the network behaves exactly as the paper's fail-stop model.
+struct LinkFaults {
+  double drop = 0.0;       ///< P(message lost in transit).
+  double duplicate = 0.0;  ///< P(message delivered exactly twice).
+  double reorder = 0.0;    ///< P(message suffers an extra latency spike,
+                           ///< letting later sends overtake it).
+  sim::Time reorder_spike = 25.0;  ///< Max extra latency for a reordered msg.
+  std::optional<LatencyModel> latency;  ///< Overrides the network latency.
+
+  bool trivial() const {
+    return drop <= 0 && duplicate <= 0 && reorder <= 0 && !latency;
+  }
+};
+
+/// The extended fault model applied at Send() time. A per-link entry, when
+/// present, replaces `global` for that directed (src, dst) pair. One-way
+/// link cuts are separate state on the Network (see CutLink) so they can
+/// be flipped without touching probabilities.
+struct FaultModel {
+  LinkFaults global;
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> per_link;
+
+  bool trivial() const {
+    if (!global.trivial()) return false;
+    for (const auto& [link, f] : per_link) {
+      if (!f.trivial()) return false;
+    }
+    return true;
+  }
+
+  /// The faults governing a message src -> dst.
+  const LinkFaults& For(NodeId src, NodeId dst) const {
+    auto it = per_link.find({src, dst});
+    return it == per_link.end() ? global : it->second;
+  }
+};
+
 /// Per-message-type traffic counters.
 struct TypeStats {
   uint64_t sent = 0;
   uint64_t delivered = 0;
-  uint64_t failed = 0;  ///< Undeliverable (down / partitioned destination).
+  uint64_t failed = 0;   ///< Undeliverable (down / partitioned / cut link).
+  uint64_t dropped = 0;     ///< Lost by the fault model.
+  uint64_t duplicated = 0;  ///< Extra copies minted by the fault model.
+
+  bool operator==(const TypeStats&) const = default;
 };
 
 /// Aggregate network statistics, for the message-traffic benches.
@@ -39,8 +85,13 @@ struct NetworkStats {
   uint64_t total_sent = 0;
   uint64_t total_delivered = 0;
   uint64_t total_failed = 0;
+  uint64_t total_dropped = 0;
+  uint64_t total_duplicated = 0;
+  uint64_t total_reordered = 0;
   std::map<std::string, TypeStats> by_type;
   std::map<NodeId, uint64_t> delivered_to;  ///< Load-sharing distribution.
+
+  bool operator==(const NetworkStats&) const = default;
 };
 
 /// The simulated network: node registry, up/down status, partitions,
@@ -50,6 +101,15 @@ struct NetworkStats {
 /// A message is deliverable iff, *at delivery time*, both endpoints are up
 /// and in the same partition group. An undeliverable request surfaces to
 /// the sender as RPC.CallFailed (handled by RpcRuntime).
+///
+/// Beyond the paper, an optional FaultModel adds message-level faults at
+/// Send() time: probabilistic drop, duplication, reordering (latency
+/// spikes), per-link latency overrides, and asymmetric one-way link cuts.
+/// Dropped *requests* still fire `on_failed`, so RPC.CallFailed semantics
+/// are preserved; dropped responses surface via the caller's timeout. A
+/// trivial (all-zero) FaultModel leaves behavior bit-for-bit identical to
+/// the pristine fail-stop network: the fault RNG is only ever touched once
+/// a non-trivial model is installed.
 class Network {
  public:
   Network(sim::Simulator* sim, Rng rng, LatencyModel latency = {})
@@ -68,21 +128,46 @@ class Network {
   /// Installs a partitioning: each set is a connectivity group; nodes not
   /// mentioned keep group 0. Overwrites any previous partitioning.
   void SetPartitions(const std::vector<NodeSet>& groups);
-  /// Restores full connectivity.
+  /// Restores full connectivity (partition groups only; link cuts and the
+  /// fault model are lifted separately).
   void HealPartitions();
 
   /// True iff a message from `a` could currently be delivered to `b`
-  /// (both up, same partition group).
+  /// (both up, same partition group, directed link not cut).
   bool Reachable(NodeId a, NodeId b) const;
 
   /// True iff `a` and `b` are in the same partition group (regardless of
   /// up/down status).
   bool SameGroup(NodeId a, NodeId b) const;
 
+  // --- message-level fault injection -------------------------------------
+
+  /// Installs (replaces) the whole fault model.
+  void set_fault_model(FaultModel model);
+  const FaultModel& fault_model() const { return fault_model_; }
+
+  /// Sets the faults for the directed link src -> dst (replacing `global`
+  /// for that link). A trivial `faults` value erases the entry.
+  void SetLinkFaults(NodeId src, NodeId dst, const LinkFaults& faults);
+
+  /// Sets the global (every-link default) faults.
+  void SetGlobalFaults(const LinkFaults& faults);
+
+  /// Cuts the directed link src -> dst: src's messages to dst fail (as
+  /// CallFailed), while dst -> src traffic is untouched — an asymmetric
+  /// fault the paper's partition model cannot express.
+  void CutLink(NodeId src, NodeId dst);
+  void RestoreLink(NodeId src, NodeId dst);
+  bool LinkCut(NodeId src, NodeId dst) const;
+
+  /// Lifts every message-level fault: fault model and link cuts (does not
+  /// touch partitions or node up/down state).
+  void ClearFaults();
+
   /// Sends a message. Delivery (or loss) happens after a sampled latency.
-  /// If the message turns out undeliverable, `on_failed`, when provided,
-  /// fires at the sender side at the would-be delivery time — this is the
-  /// transport half of RPC.CallFailed.
+  /// If the message turns out undeliverable — or the fault model drops
+  /// it — `on_failed`, when provided, fires at the sender side at the
+  /// would-be delivery time; this is the transport half of RPC.CallFailed.
   void Send(Message msg, std::function<void()> on_failed = nullptr);
 
   const NetworkStats& stats() const { return stats_; }
@@ -91,11 +176,21 @@ class Network {
   sim::Simulator* simulator() { return sim_; }
 
  private:
-  sim::Time SampleLatency();
+  sim::Time SampleLatency(const LatencyModel& model);
+  /// Seeds the fault RNG from the latency RNG on first use, so fault
+  /// schedules derive from the network seed without perturbing the
+  /// latency stream of fault-free runs.
+  void EnsureFaultRng();
+  void ScheduleDelivery(Message msg, sim::Time latency,
+                        std::function<void()> on_failed);
 
   sim::Simulator* sim_;
   Rng rng_;
+  Rng fault_rng_{0};
+  bool fault_rng_seeded_ = false;
   LatencyModel latency_;
+  FaultModel fault_model_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
   std::map<NodeId, MessageSink*> sinks_;
   std::map<NodeId, bool> up_;
   std::map<NodeId, uint32_t> partition_group_;

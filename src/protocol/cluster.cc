@@ -39,6 +39,9 @@ Cluster::Cluster(ClusterOptions options)
   rule_ = MakeCoterieRule(options_.coterie);
   network_ = std::make_unique<net::Network>(&sim_, rng_.Fork(),
                                             options_.latency);
+  if (!options_.fault_model.trivial()) {
+    network_->set_fault_model(options_.fault_model);
+  }
   NodeSet all = NodeSet::Universe(options_.num_nodes);
   uint32_t objects = std::max(1u, options_.num_objects);
   std::vector<std::vector<uint8_t>> initial_values(objects,
@@ -175,6 +178,23 @@ void Cluster::Partition(const std::vector<NodeSet>& groups) {
 }
 
 void Cluster::Heal() { network_->HealPartitions(); }
+
+void Cluster::SetGlobalFaults(const net::LinkFaults& faults) {
+  network_->SetGlobalFaults(faults);
+}
+
+void Cluster::InjectLinkFault(NodeId src, NodeId dst,
+                              const net::LinkFaults& faults) {
+  network_->SetLinkFaults(src, dst, faults);
+}
+
+void Cluster::CutLink(NodeId src, NodeId dst) { network_->CutLink(src, dst); }
+
+void Cluster::RestoreLink(NodeId src, NodeId dst) {
+  network_->RestoreLink(src, dst);
+}
+
+void Cluster::ClearNetworkFaults() { network_->ClearFaults(); }
 
 NodeSet Cluster::UpNodes() const {
   NodeSet up;

@@ -41,6 +41,10 @@ struct ClusterOptions {
   CoterieKind coterie = CoterieKind::kGrid;
   uint64_t seed = 1;
   net::LatencyModel latency{1.0, 0.5};
+  /// Message-level faults installed at construction (drop / duplication /
+  /// reordering / per-link overrides). Trivial by default: the pristine
+  /// fail-stop network of the paper.
+  net::FaultModel fault_model;
   std::vector<uint8_t> initial_value;  ///< Shared by all objects.
   ReplicaNodeOptions node_options;
   WriteOptions write_options;
@@ -119,6 +123,20 @@ class Cluster {
   void Partition(const std::vector<NodeSet>& groups);
   void Heal();
   NodeSet UpNodes() const;
+
+  // --- message-level fault injection (nemesis support) ---
+
+  /// Sets the every-link default message faults.
+  void SetGlobalFaults(const net::LinkFaults& faults);
+  /// Sets the faults of the directed link src -> dst (a trivial value
+  /// clears the link back to the global default).
+  void InjectLinkFault(NodeId src, NodeId dst, const net::LinkFaults& faults);
+  /// Cuts / restores the directed link src -> dst (asymmetric: the
+  /// reverse direction keeps flowing).
+  void CutLink(NodeId src, NodeId dst);
+  void RestoreLink(NodeId src, NodeId dst);
+  /// Lifts the whole fault model and every link cut.
+  void ClearNetworkFaults();
 
   /// Advances the simulation clock by `duration`.
   void RunFor(sim::Time duration);

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "harness/fault_injector.h"
+#include "harness/nemesis.h"
 #include "harness/workload.h"
 #include "protocol/cluster.h"
 
@@ -83,6 +85,97 @@ TEST(Determinism, DifferentSeedsDiverge) {
   RunFingerprint b = RunOnce(2);
   // Different fault/workload schedules must lead to different traffic.
   EXPECT_NE(a.messages_sent, b.messages_sent);
+}
+
+// --- nemesis determinism ---------------------------------------------------
+// The adversarial harness must replay exactly from one seed: identical
+// NetworkStats (including dropped/duplicated/reordered counters), an
+// identical applied-fault schedule, and identical committed histories.
+
+struct NemesisFingerprint {
+  net::NetworkStats network_stats;
+  std::vector<double> fault_times;
+  std::vector<std::string> fault_descriptions;
+  std::vector<storage::Version> write_versions;
+  std::vector<double> write_times;
+  uint64_t events_executed;
+  uint64_t churn_failures;
+};
+
+NemesisFingerprint RunNemesisOnce(uint64_t seed) {
+  ClusterOptions opts;
+  opts.num_nodes = 9;
+  opts.coterie = CoterieKind::kGrid;
+  opts.seed = seed;
+  opts.initial_value = std::vector<uint8_t>(32, 0);
+  opts.start_epoch_daemons = true;
+  opts.daemon_options.check_interval = 300;
+  opts.fault_model.global.drop = 0.05;
+  opts.fault_model.global.duplicate = 0.05;
+  opts.fault_model.global.reorder = 0.10;
+  Cluster cluster(opts);
+
+  harness::Scenario scenario = harness::RandomScenario(seed + 17, 9, 10000);
+  harness::Nemesis nemesis(&cluster, scenario);
+
+  harness::WorkloadDriver::Options wopts;
+  wopts.arrival_rate = 0.01;
+  wopts.seed = seed + 2;
+  harness::WorkloadDriver workload(&cluster, wopts);
+
+  cluster.RunFor(10000);
+  workload.Stop();
+  nemesis.StopAndHeal();
+  cluster.RunFor(5000);
+
+  NemesisFingerprint fp;
+  fp.network_stats = cluster.network().stats();
+  for (const auto& applied : nemesis.log()) {
+    fp.fault_times.push_back(applied.at);
+    fp.fault_descriptions.push_back(applied.description);
+  }
+  for (const auto& w : cluster.history().writes()) {
+    fp.write_versions.push_back(w.version);
+    fp.write_times.push_back(w.decided_at);
+  }
+  fp.events_executed = cluster.simulator().events_executed();
+  fp.churn_failures =
+      nemesis.churn() ? nemesis.churn()->failures_injected() : 0;
+  return fp;
+}
+
+TEST(Determinism, NemesisIdenticalSeedsIdenticalRuns) {
+  NemesisFingerprint a = RunNemesisOnce(1717);
+  NemesisFingerprint b = RunNemesisOnce(1717);
+  EXPECT_EQ(a.network_stats, b.network_stats);
+  EXPECT_EQ(a.fault_times, b.fault_times);
+  EXPECT_EQ(a.fault_descriptions, b.fault_descriptions);
+  EXPECT_EQ(a.write_versions, b.write_versions);
+  EXPECT_EQ(a.write_times, b.write_times);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.churn_failures, b.churn_failures);
+  // The run must actually have exercised the fault machinery.
+  EXPECT_GT(a.network_stats.total_dropped, 0u);
+  EXPECT_FALSE(a.fault_descriptions.empty());
+}
+
+TEST(Determinism, NemesisDifferentSeedsDiverge) {
+  NemesisFingerprint a = RunNemesisOnce(21);
+  NemesisFingerprint b = RunNemesisOnce(22);
+  EXPECT_NE(a.network_stats.total_sent, b.network_stats.total_sent);
+  EXPECT_NE(a.fault_descriptions, b.fault_descriptions);
+}
+
+TEST(Determinism, ScenarioGenerationIsPureFunctionOfSeed) {
+  harness::Scenario a = harness::RandomScenario(9, 9, 20000);
+  harness::Scenario b = harness::RandomScenario(9, 9, 20000);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].Describe(), b.events[i].Describe());
+    EXPECT_DOUBLE_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_DOUBLE_EQ(a.events[i].duration, b.events[i].duration);
+  }
+  EXPECT_EQ(a.churn_seed, b.churn_seed);
 }
 
 }  // namespace

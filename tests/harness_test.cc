@@ -57,6 +57,23 @@ TEST(FaultInjector, StopQuiescesInjection) {
   }
 }
 
+// Regression: the injector schedules its first fault events at
+// construction; Stop() before any of them fire must turn the whole queued
+// schedule into no-ops (the shared stop flag is checked inside each event;
+// safe because the simulator is single-threaded).
+TEST(FaultInjector, StopBeforePendingEventsFireMakesThemNoOps) {
+  Cluster cluster(Options());
+  FaultInjector::Options fopts;
+  fopts.mtbf = 100;  // Aggressive: events queued almost immediately.
+  fopts.mttr = 10;
+  FaultInjector injector(&cluster, fopts);
+  injector.Stop();  // Nothing has run yet — the queue is full of events.
+  cluster.RunFor(50000);
+  EXPECT_EQ(injector.failures_injected(), 0u);
+  EXPECT_EQ(injector.repairs_injected(), 0u);
+  EXPECT_EQ(cluster.UpNodes().Size(), 9u);
+}
+
 TEST(FaultInjector, SafeToDestroyWithEventsQueued) {
   Cluster cluster(Options());
   {
@@ -106,6 +123,21 @@ TEST(WorkloadDriver, SurvivesChurnWithDaemons) {
   EXPECT_GT(faults.failures_injected(), 50u);
   EXPECT_TRUE(cluster.CheckHistory().ok())
       << cluster.CheckHistory().ToString();
+}
+
+// Regression: same contract for the workload driver — its first arrival
+// event is queued at construction, and Stop() before it fires must keep
+// every statistic at zero.
+TEST(WorkloadDriver, StopBeforePendingEventsFireMakesThemNoOps) {
+  Cluster cluster(Options());
+  WorkloadDriver::Options wopts;
+  wopts.arrival_rate = 1.0;  // An arrival is due almost immediately.
+  WorkloadDriver workload(&cluster, wopts);
+  workload.Stop();  // The first arrival event is still queued.
+  cluster.RunFor(20000);
+  EXPECT_EQ(workload.writes().attempted, 0u);
+  EXPECT_EQ(workload.reads().attempted, 0u);
+  EXPECT_EQ(cluster.history().writes().size(), 0u);
 }
 
 TEST(WorkloadDriver, StaticStackWorks) {
