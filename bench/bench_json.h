@@ -1,0 +1,110 @@
+// Shared machine-readable output for bench binaries. Each bench that
+// supports `--metrics-json <path>` emits one document in this schema:
+//
+//   {"schema_version": 1,
+//    "bench": "<binary name>",
+//    "rows": [{"name": "<config name>", "metrics": {"<metric>": <number>}}]}
+//
+// The schema is deliberately flat — rows keyed by config name, metrics
+// keyed by stable snake_case names — so the CI regression gate
+// (bench/check_regression.py) can diff two documents without knowing
+// anything bench-specific. Bump schema_version on incompatible changes.
+
+#ifndef DCP_BENCH_BENCH_JSON_H_
+#define DCP_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dcp::bench {
+
+/// Accumulates rows and writes the document. Metric insertion order is
+/// preserved, so output is deterministic for a fixed bench.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Starts a new row; subsequent Metric() calls attach to it.
+  void Row(std::string name) {
+    rows_.push_back({std::move(name), {}});
+  }
+
+  void Metric(std::string name, double value) {
+    rows_.back().metrics.emplace_back(std::move(name), value);
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"schema_version\":1,\"bench\":\"";
+    out += obs::JsonEscape(bench_name_);
+    out += "\",\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i) out += ',';
+      out += "{\"name\":\"";
+      out += obs::JsonEscape(rows_[i].name);
+      out += "\",\"metrics\":{";
+      for (size_t j = 0; j < rows_[i].metrics.size(); ++j) {
+        if (j) out += ',';
+        out += '"';
+        out += obs::JsonEscape(rows_[i].metrics[j].first);
+        out += "\":";
+        obs::AppendJsonNumber(&out, rows_[i].metrics[j].second);
+      }
+      out += "}}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  /// Writes the document to `path` ("-" for stdout). Returns false and
+  /// prints to stderr on I/O failure so benches can exit nonzero.
+  bool WriteFile(const std::string& path) const {
+    std::string doc = ToJson();
+    doc += '\n';
+    if (path == "-") {
+      std::fwrite(doc.data(), 1, doc.size(), stdout);
+      return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = written == doc.size() && std::fclose(f) == 0;
+    if (!ok) std::fprintf(stderr, "bench_json: write to %s failed\n",
+                          path.c_str());
+    return ok;
+  }
+
+ private:
+  struct RowData {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string bench_name_;
+  std::vector<RowData> rows_;
+};
+
+/// Parses `--metrics-json <path>` (or `--metrics-json=<path>`) out of
+/// argv. Returns the path, or an empty string when the flag is absent.
+inline std::string MetricsJsonPathFromArgs(int argc, char** argv) {
+  const std::string flag = "--metrics-json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.compare(0, flag.size() + 1, flag + "=") == 0) {
+      return arg.substr(flag.size() + 1);
+    }
+  }
+  return "";
+}
+
+}  // namespace dcp::bench
+
+#endif  // DCP_BENCH_BENCH_JSON_H_

@@ -9,8 +9,10 @@
 //   ./build/bench/chaos_sweep
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "harness/nemesis.h"
 #include "harness/workload.h"
 #include "protocol/cluster.h"
@@ -91,7 +93,8 @@ void PrintTable(const char* title, const std::vector<Row>& rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = dcp::bench::MetricsJsonPathFromArgs(argc, argv);
   const std::vector<double> kDropLevels = {0.0, 0.02, 0.05, 0.10, 0.20};
 
   std::vector<Row> clean, chaotic;
@@ -104,5 +107,26 @@ int main() {
   PrintTable("message faults only (drop = dup = reorder/2):", clean);
   PrintTable("message faults + nemesis schedule (storms, partitions, "
              "cuts, flapping/slow links):", chaotic);
+
+  if (!json_path.empty()) {
+    dcp::bench::BenchJsonWriter json("chaos_sweep");
+    auto emit = [&json](const char* mode, const std::vector<Row>& rows) {
+      for (const Row& r : rows) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s-drop%.2f", mode, r.drop);
+        json.Row(name);
+        json.Metric("write_success", r.write_rate);
+        json.Metric("read_success", r.read_rate);
+        json.Metric("write_latency", r.write_latency);
+        json.Metric("messages_dropped", double(r.dropped));
+        json.Metric("messages_duplicated", double(r.duplicated));
+        json.Metric("messages_reordered", double(r.reordered));
+        json.Metric("nemesis_faults", double(r.faults_applied));
+      }
+    };
+    emit("clean", clean);
+    emit("nemesis", chaotic);
+    if (!json.WriteFile(json_path)) return 1;
+  }
   return 0;
 }

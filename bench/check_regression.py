@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI gate: compare a bench --metrics-json document against a baseline.
+
+Usage:
+    check_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+Both files use the schema written by bench/bench_json.h (schema_version 1,
+rows keyed by config name, metrics keyed by stable snake_case names).
+
+Direction-aware: metrics where higher is worse (latencies, message counts)
+fail when CURRENT exceeds BASELINE by more than the threshold; metrics
+where lower is worse (success rates) fail when CURRENT drops below
+BASELINE by more than the threshold (relative). Everything else is
+reported for information only. Rows or metrics present on one side only
+are informational too — new configs should not fail the gate.
+
+Exits 1 on any regression, 0 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def classify(name):
+    """Returns 'higher_is_worse', 'lower_is_worse', or 'info'."""
+    if "latency" in name or name == "messages_sent" or name.startswith(
+            "messages_per"):
+        return "higher_is_worse"
+    if name.endswith("_success") or name.endswith("success_rate"):
+        return "lower_is_worse"
+    return "info"
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version "
+                 f"{doc.get('schema_version')!r} (expected 1)")
+    return {row["name"]: row["metrics"] for row in doc["rows"]}, doc.get(
+        "bench", "?")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max tolerated relative regression "
+                        "(default 0.15 = 15%%)")
+    args = parser.parse_args()
+
+    base_rows, base_bench = load_rows(args.baseline)
+    cur_rows, cur_bench = load_rows(args.current)
+    if base_bench != cur_bench:
+        sys.exit(f"bench mismatch: baseline is {base_bench!r}, "
+                 f"current is {cur_bench!r}")
+
+    regressions = []
+    print(f"bench: {cur_bench}  threshold: {args.threshold:.0%}")
+    print(f"{'row':<28} {'metric':<22} {'baseline':>12} {'current':>12} "
+          f"{'delta':>8}  verdict")
+    for row_name in sorted(base_rows):
+        if row_name not in cur_rows:
+            print(f"{row_name:<28} (row missing from current — info only)")
+            continue
+        base_metrics = base_rows[row_name]
+        cur_metrics = cur_rows[row_name]
+        for metric in base_metrics:
+            if metric not in cur_metrics:
+                print(f"{row_name:<28} {metric:<22} "
+                      "(metric missing from current — info only)")
+                continue
+            base_v = float(base_metrics[metric])
+            cur_v = float(cur_metrics[metric])
+            if base_v == 0.0:
+                delta = 0.0 if cur_v == 0.0 else float("inf")
+            else:
+                delta = (cur_v - base_v) / base_v
+            direction = classify(metric)
+            bad = ((direction == "higher_is_worse" and delta > args.threshold)
+                   or (direction == "lower_is_worse"
+                       and delta < -args.threshold))
+            verdict = ("REGRESSION" if bad else
+                       "ok" if direction != "info" else "info")
+            print(f"{row_name:<28} {metric:<22} {base_v:>12.4f} "
+                  f"{cur_v:>12.4f} {delta:>+7.1%}  {verdict}")
+            if bad:
+                regressions.append((row_name, metric, base_v, cur_v, delta))
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for row_name, metric, base_v, cur_v, delta in regressions:
+            print(f"  {row_name}/{metric}: {base_v:.4f} -> {cur_v:.4f} "
+                  f"({delta:+.1%})")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

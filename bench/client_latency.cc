@@ -13,7 +13,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "harness/fault_injector.h"
 #include "harness/workload.h"
 #include "protocol/cluster.h"
@@ -30,6 +32,7 @@ struct Row {
   double write_success, write_latency;
   double read_success, read_latency;
   uint64_t faults;
+  uint64_t messages;
 };
 
 Row Run(CoterieKind kind, Stack stack, bool with_daemons, double mtbf,
@@ -66,12 +69,14 @@ Row Run(CoterieKind kind, Stack stack, bool with_daemons, double mtbf,
   row.read_success = workload.reads().success_rate();
   row.read_latency = workload.reads().mean_latency();
   row.faults = faults.failures_injected();
+  row.messages = cluster.network().stats().total_sent;
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = dcp::bench::MetricsJsonPathFromArgs(argc, argv);
   const double kMtbf = 20000, kMttr = 4000;  // p ~ 0.83.
   const dcp::sim::Time kHorizon = 300000;
   std::printf("Client-perceived behaviour under churn (9 nodes, "
@@ -98,12 +103,21 @@ int main() {
       {"dynamic-voting[JM]", CoterieKind::kMajority, Stack::kDynamicVoting,
        false},
   };
+  dcp::bench::BenchJsonWriter json("client_latency");
   for (const Config& c : configs) {
     Row row = Run(c.kind, c.stack, c.daemons, kMtbf, kMttr, kHorizon);
     std::printf("%-24s %-11.4f %-10.1f %-11.4f %-10.1f %" PRIu64 "\n",
                 c.name, row.write_success, row.write_latency,
                 row.read_success, row.read_latency, row.faults);
+    json.Row(c.name);
+    json.Metric("write_success", row.write_success);
+    json.Metric("write_latency", row.write_latency);
+    json.Metric("read_success", row.read_success);
+    json.Metric("read_latency", row.read_latency);
+    json.Metric("faults", double(row.faults));
+    json.Metric("messages_sent", double(row.messages));
   }
+  if (!json_path.empty() && !json.WriteFile(json_path)) return 1;
   std::printf("\nNotes: identical fault schedules (same injector seed). "
               "Success rates are per\nsingle attempt; production clients "
               "retry conflicts. The dynamic stacks keep\nsucceeding as "

@@ -8,9 +8,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "baseline/accessible_copies.h"
+#include "bench_json.h"
 #include "baseline/dynamic_voting.h"
 #include "baseline/static_protocol.h"
 #include "protocol/cluster.h"
@@ -130,7 +132,9 @@ TrafficResult MeasureTraffic(CoterieKind kind, Stack stack, uint32_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = dcp::bench::MetricsJsonPathFromArgs(argc, argv);
+  dcp::bench::BenchJsonWriter json("message_traffic");
   const int kOps = 60;
   std::printf("Messages per operation (N nodes, failure-free, %d writes + "
               "%d reads, includes replies, 2PC, unlocks, propagation)\n\n",
@@ -159,9 +163,16 @@ int main() {
       std::printf("%-4u %-22s %-11.1f %-11.1f %-13.2f\n", n, c.name,
                   r.messages_per_write, r.messages_per_read,
                   r.load_max_over_min);
+      char row_name[64];
+      std::snprintf(row_name, sizeof(row_name), "%s-n%u", c.name, n);
+      json.Row(row_name);
+      json.Metric("messages_per_write", r.messages_per_write);
+      json.Metric("messages_per_read", r.messages_per_read);
+      json.Metric("load_max_over_min", r.load_max_over_min);
     }
     std::printf("\n");
   }
+  if (!json_path.empty() && !json.WriteFile(json_path)) return 1;
   std::printf("Expected shape: grid traffic grows ~sqrt(N); majority ~N/2;\n"
               "JM dynamic voting contacts every replica on every operation\n"
               "(the inefficiency Sections 2 and 7 call out); accessible\n"

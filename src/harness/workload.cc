@@ -14,6 +14,15 @@ using protocol::WriteOutcome;
 
 WorkloadDriver::WorkloadDriver(protocol::Cluster* cluster, Options options)
     : cluster_(cluster), options_(options), rng_(options.seed) {
+  obs::MetricsRegistry& m = cluster_->metrics();
+  write_counters_ = OpCounters{m.counter("workload.write.attempted"),
+                               m.counter("workload.write.committed"),
+                               m.counter("workload.write.failed"),
+                               m.histogram("workload.write.latency")};
+  read_counters_ = OpCounters{m.counter("workload.read.attempted"),
+                              m.counter("workload.read.committed"),
+                              m.counter("workload.read.failed"),
+                              m.histogram("workload.read.latency")};
   state_ = std::make_shared<Shared>();
   ArmNext();
 }
@@ -49,8 +58,11 @@ void WorkloadDriver::Issue() {
       ++writes_.committed;
       writes_.total_latency += latency;
       writes_.max_latency = std::max(writes_.max_latency, latency);
+      write_counters_.committed->Increment();
+      write_counters_.latency->Observe(latency);
     } else {
       ++writes_.failed;
+      write_counters_.failed->Increment();
     }
   };
   auto read_done = [this, state, started](Result<ReadOutcome> r) {
@@ -60,13 +72,17 @@ void WorkloadDriver::Issue() {
       ++reads_.committed;
       reads_.total_latency += latency;
       reads_.max_latency = std::max(reads_.max_latency, latency);
+      read_counters_.committed->Increment();
+      read_counters_.latency->Observe(latency);
     } else {
       ++reads_.failed;
+      read_counters_.failed->Increment();
     }
   };
 
   if (rng_.Bernoulli(options_.write_fraction)) {
     ++writes_.attempted;
+    write_counters_.attempted->Increment();
     switch (options_.stack) {
       case Stack::kDynamicCoterie:
         cluster_->Write(coordinator, object,
@@ -96,6 +112,7 @@ void WorkloadDriver::Issue() {
     }
   } else {
     ++reads_.attempted;
+    read_counters_.attempted->Increment();
     switch (options_.stack) {
       case Stack::kDynamicCoterie:
         cluster_->Read(coordinator, object, read_done);

@@ -73,6 +73,16 @@ class WorkloadDriver {
     bool stopped = false;
   };
 
+  /// Registry handles mirroring one OpStats ("workload.<kind>.*"), so the
+  /// client-observed view lands in metrics exports alongside the protocol
+  /// counters.
+  struct OpCounters {
+    obs::Counter* attempted;
+    obs::Counter* committed;
+    obs::Counter* failed;
+    obs::Histogram* latency;
+  };
+
   void ArmNext();
   void Issue();
   NodeId PickLiveCoordinator();
@@ -83,6 +93,8 @@ class WorkloadDriver {
   std::shared_ptr<Shared> state_;
   OpStats writes_;
   OpStats reads_;
+  OpCounters write_counters_;
+  OpCounters read_counters_;
   uint64_t counter_ = 0;
 };
 

@@ -5,6 +5,64 @@
 
 namespace dcp::net {
 
+Network::Network(sim::Simulator* sim, Rng rng, LatencyModel latency)
+    : sim_(sim), rng_(rng), latency_(latency) {
+  obs::MetricsRegistry& m = sim_->metrics();
+  sent_ = m.counter("net.sent");
+  delivered_ = m.counter("net.delivered");
+  failed_ = m.counter("net.failed");
+  dropped_ = m.counter("net.dropped");
+  duplicated_ = m.counter("net.duplicated");
+  reordered_ = m.counter("net.reordered");
+}
+
+Network::TypeCounters& Network::ForType(const std::string& type) {
+  auto it = type_counters_.find(type);
+  if (it != type_counters_.end()) return it->second;
+  obs::MetricsRegistry& m = sim_->metrics();
+  std::string prefix = "net.type." + type + ".";
+  TypeCounters tc;
+  tc.sent = m.counter(prefix + "sent");
+  tc.delivered = m.counter(prefix + "delivered");
+  tc.failed = m.counter(prefix + "failed");
+  tc.dropped = m.counter(prefix + "dropped");
+  tc.duplicated = m.counter(prefix + "duplicated");
+  return type_counters_.emplace(type, tc).first->second;
+}
+
+obs::Counter* Network::DeliveredTo(NodeId node) {
+  auto it = delivered_to_.find(node);
+  if (it != delivered_to_.end()) return it->second;
+  obs::Counter* c =
+      sim_->metrics().counter("net.delivered_to." + std::to_string(node));
+  return delivered_to_.emplace(node, c).first->second;
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  s.total_sent = sent_->value();
+  s.total_delivered = delivered_->value();
+  s.total_failed = failed_->value();
+  s.total_dropped = dropped_->value();
+  s.total_duplicated = duplicated_->value();
+  s.total_reordered = reordered_->value();
+  for (const auto& [type, tc] : type_counters_) {
+    TypeStats ts;
+    ts.sent = tc.sent->value();
+    ts.delivered = tc.delivered->value();
+    ts.failed = tc.failed->value();
+    ts.dropped = tc.dropped->value();
+    ts.duplicated = tc.duplicated->value();
+    if (!(ts == TypeStats{})) s.by_type.emplace(type, ts);
+  }
+  for (const auto& [node, c] : delivered_to_) {
+    if (c->value() != 0) s.delivered_to.emplace(node, c->value());
+  }
+  return s;
+}
+
+void Network::ResetStats() { sim_->metrics().ResetPrefix("net."); }
+
 void Network::Register(NodeId node, MessageSink* sink) {
   sinks_[node] = sink;
   up_[node] = true;
@@ -107,15 +165,18 @@ void Network::ScheduleDelivery(Message msg, sim::Time latency,
     // *sender* crashing after the send does not recall the message —
     // it is already on the wire.
     if (IsUp(dst) && SameGroup(src, dst) && !LinkCut(src, dst)) {
-      ++stats_.total_delivered;
-      ++stats_.by_type[type].delivered;
-      ++stats_.delivered_to[dst];
+      delivered_->Increment();
+      ForType(type).delivered->Increment();
+      DeliveredTo(dst)->Increment();
       auto it = sinks_.find(dst);
       assert(it != sinks_.end());
       it->second->Deliver(std::move(msg));
     } else {
-      ++stats_.total_failed;
-      ++stats_.by_type[type].failed;
+      failed_->Increment();
+      ForType(type).failed->Increment();
+      sim_->tracer().Instant("net", "net.fail", src,
+                             {{"type", type},
+                              {"dst", std::to_string(dst)}});
       // Notify the sender side (if it is still alive to care).
       if (on_failed && IsUp(src)) on_failed();
     }
@@ -125,8 +186,8 @@ void Network::ScheduleDelivery(Message msg, sim::Time latency,
 void Network::Send(Message msg, std::function<void()> on_failed) {
   // A crashed node cannot emit messages (fail-stop).
   if (!IsUp(msg.src)) return;
-  ++stats_.total_sent;
-  ++stats_.by_type[msg.type].sent;
+  sent_->Increment();
+  ForType(msg.type).sent->Increment();
 
   // The trivial-model fast path must not touch fault_rng_, so fault-free
   // runs consume exactly the random stream they always did.
@@ -145,8 +206,11 @@ void Network::Send(Message msg, std::function<void()> on_failed) {
   }
 
   if (faults->drop > 0 && fault_rng_.Bernoulli(faults->drop)) {
-    ++stats_.total_dropped;
-    ++stats_.by_type[msg.type].dropped;
+    dropped_->Increment();
+    ForType(msg.type).dropped->Increment();
+    sim_->tracer().Instant("net", "net.drop", msg.src,
+                           {{"type", msg.type},
+                            {"dst", std::to_string(msg.dst)}});
     // A dropped message is indistinguishable from an unreachable
     // destination at the transport layer: the sender still learns (via
     // on_failed, i.e. RPC.CallFailed) at the would-be delivery time.
@@ -161,12 +225,15 @@ void Network::Send(Message msg, std::function<void()> on_failed) {
 
   sim::Time latency = SampleLatency(model);
   if (faults->reorder > 0 && fault_rng_.Bernoulli(faults->reorder)) {
-    ++stats_.total_reordered;
+    reordered_->Increment();
     latency += fault_rng_.NextDouble() * faults->reorder_spike;
   }
   if (faults->duplicate > 0 && fault_rng_.Bernoulli(faults->duplicate)) {
-    ++stats_.total_duplicated;
-    ++stats_.by_type[msg.type].duplicated;
+    duplicated_->Increment();
+    ForType(msg.type).duplicated->Increment();
+    sim_->tracer().Instant("net", "net.duplicate", msg.src,
+                           {{"type", msg.type},
+                            {"dst", std::to_string(msg.dst)}});
     // The copy takes its own (possibly overtaking) latency sample and
     // carries no on_failed: the original already reports transport
     // failure, and CallFailed must not fire twice per logical send.

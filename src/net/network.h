@@ -69,7 +69,8 @@ struct FaultModel {
   }
 };
 
-/// Per-message-type traffic counters.
+/// Per-message-type traffic counters. Snapshot view — the live values
+/// are registry counters (see Network::stats).
 struct TypeStats {
   uint64_t sent = 0;
   uint64_t delivered = 0;
@@ -81,6 +82,9 @@ struct TypeStats {
 };
 
 /// Aggregate network statistics, for the message-traffic benches.
+/// Since the observability layer landed this is a *snapshot* assembled
+/// from the metrics registry ("net.*" entries) at each stats() call, kept
+/// for API compatibility; live consumers should read the registry.
 struct NetworkStats {
   uint64_t total_sent = 0;
   uint64_t total_delivered = 0;
@@ -112,8 +116,7 @@ struct NetworkStats {
 /// a non-trivial model is installed.
 class Network {
  public:
-  Network(sim::Simulator* sim, Rng rng, LatencyModel latency = {})
-      : sim_(sim), rng_(rng), latency_(latency) {}
+  Network(sim::Simulator* sim, Rng rng, LatencyModel latency = {});
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -170,12 +173,26 @@ class Network {
   /// would-be delivery time; this is the transport half of RPC.CallFailed.
   void Send(Message msg, std::function<void()> on_failed = nullptr);
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  /// Snapshot of the registry-backed traffic counters. All-zero per-type
+  /// and per-node entries are omitted, so a freshly reset network reports
+  /// empty maps exactly as the pre-registry implementation did.
+  NetworkStats stats() const;
+  /// Zeroes every "net.*" metric (the registered names survive).
+  void ResetStats();
 
   sim::Simulator* simulator() { return sim_; }
 
  private:
+  /// Registry handles for one message type's counters, cached so the
+  /// send/deliver hot path never does a by-name registry lookup.
+  struct TypeCounters {
+    obs::Counter* sent;
+    obs::Counter* delivered;
+    obs::Counter* failed;
+    obs::Counter* dropped;
+    obs::Counter* duplicated;
+  };
+
   sim::Time SampleLatency(const LatencyModel& model);
   /// Seeds the fault RNG from the latency RNG on first use, so fault
   /// schedules derive from the network seed without perturbing the
@@ -183,6 +200,8 @@ class Network {
   void EnsureFaultRng();
   void ScheduleDelivery(Message msg, sim::Time latency,
                         std::function<void()> on_failed);
+  TypeCounters& ForType(const std::string& type);
+  obs::Counter* DeliveredTo(NodeId node);
 
   sim::Simulator* sim_;
   Rng rng_;
@@ -194,7 +213,18 @@ class Network {
   std::map<NodeId, MessageSink*> sinks_;
   std::map<NodeId, bool> up_;
   std::map<NodeId, uint32_t> partition_group_;
-  NetworkStats stats_;
+
+  // Traffic accounting lives in the simulator's metrics registry
+  // ("net.*"); these are cached handles. One Network per Simulator —
+  // two networks on one sim would share (and double-count) the names.
+  obs::Counter* sent_;
+  obs::Counter* delivered_;
+  obs::Counter* failed_;
+  obs::Counter* dropped_;
+  obs::Counter* duplicated_;
+  obs::Counter* reordered_;
+  std::map<std::string, TypeCounters> type_counters_;
+  std::map<NodeId, obs::Counter*> delivered_to_;
 };
 
 }  // namespace dcp::net

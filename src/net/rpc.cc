@@ -7,11 +7,19 @@ namespace dcp::net {
 RpcRuntime::RpcRuntime(Network* network, NodeId self, sim::Time timeout)
     : network_(network), self_(self), timeout_(timeout) {
   network_->Register(self_, this);
+  obs::MetricsRegistry& m = network_->simulator()->metrics();
+  calls_ = m.counter("rpc.calls");
+  ok_ = m.counter("rpc.ok");
+  app_errors_ = m.counter("rpc.app_errors");
+  call_failed_ = m.counter("rpc.call_failed");
+  timeouts_ = m.counter("rpc.timeouts");
+  latency_ = m.histogram("rpc.latency");
 }
 
 void RpcRuntime::Call(NodeId dst, std::string type, PayloadPtr request,
                       RpcCallback cb) {
   uint64_t id = next_rpc_id_++;
+  calls_->Increment();
 
   Message msg;
   msg.src = self_;
@@ -21,11 +29,17 @@ void RpcRuntime::Call(NodeId dst, std::string type, PayloadPtr request,
   msg.type = type;
   msg.payload = std::move(request);
 
-  sim::EventId timer = network_->simulator()->Schedule(timeout_, [this, id] {
+  sim::Simulator* sim = network_->simulator();
+  sim->tracer().BeginSpan("rpc", type, self_, SpanId(id),
+                          {{"dst", std::to_string(dst)}});
+
+  sim::EventId timer = sim->Schedule(timeout_, [this, id] {
+    timeouts_->Increment();
     Complete(id, RpcResult::CallFailed(
                      Status::TimedOut("rpc timeout; treating as CallFailed")));
   });
-  outstanding_[id] = Outstanding{std::move(cb), timer};
+  outstanding_[id] =
+      Outstanding{std::move(cb), timer, sim->Now(), dst, std::move(type)};
 
   network_->Send(std::move(msg), [this, id] {
     Complete(id, RpcResult::CallFailed(
@@ -34,8 +48,11 @@ void RpcRuntime::Call(NodeId dst, std::string type, PayloadPtr request,
 }
 
 void RpcRuntime::AbortAll() {
+  obs::EventTracer& tracer = network_->simulator()->tracer();
   for (auto& [id, out] : outstanding_) {
     network_->simulator()->Cancel(out.timeout_event);
+    tracer.EndSpan("rpc", out.type, self_, SpanId(id),
+                   {{"outcome", "abandoned"}});
   }
   outstanding_.clear();
 }
@@ -43,8 +60,26 @@ void RpcRuntime::AbortAll() {
 void RpcRuntime::Complete(uint64_t rpc_id, RpcResult result) {
   auto it = outstanding_.find(rpc_id);
   if (it == outstanding_.end()) return;  // Already completed or aborted.
+  sim::Simulator* sim = network_->simulator();
   RpcCallback cb = std::move(it->second.cb);
-  network_->simulator()->Cancel(it->second.timeout_event);
+  sim->Cancel(it->second.timeout_event);
+  latency_->Observe(sim->Now() - it->second.started);
+
+  const char* outcome;
+  if (result.ok()) {
+    ok_->Increment();
+    outcome = "ok";
+  } else if (result.call_failed()) {
+    call_failed_->Increment();
+    outcome = result.transport.code() == StatusCode::kTimedOut
+                  ? "timeout"
+                  : "call_failed";
+  } else {
+    app_errors_->Increment();
+    outcome = "app_error";
+  }
+  sim->tracer().EndSpan("rpc", it->second.type, self_, SpanId(rpc_id),
+                        {{"outcome", outcome}});
   outstanding_.erase(it);
   // A crashed caller never observes completions.
   if (!network_->IsUp(self_)) return;

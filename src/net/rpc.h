@@ -93,9 +93,17 @@ class RpcRuntime : public MessageSink {
   struct Outstanding {
     RpcCallback cb;
     sim::EventId timeout_event;
+    sim::Time started = 0;  ///< Issue time, for the rpc.latency histogram.
+    NodeId dst = 0;
+    std::string type;  ///< Request type; names the trace span.
   };
 
   void Complete(uint64_t rpc_id, RpcResult result);
+  /// Trace-span correlation id: rpc ids are per-runtime, so the caller id
+  /// is folded in to keep concurrent nodes' spans distinct.
+  uint64_t SpanId(uint64_t rpc_id) const {
+    return (static_cast<uint64_t>(self_) << 40) | rpc_id;
+  }
 
   Network* network_;
   NodeId self_;
@@ -103,6 +111,16 @@ class RpcRuntime : public MessageSink {
   RpcService* service_ = nullptr;
   uint64_t next_rpc_id_ = 1;
   std::map<uint64_t, Outstanding> outstanding_;
+
+  // Registry handles ("rpc.*"). Shared across all nodes' runtimes on one
+  // simulator: the registry hands back the same counter for the same name,
+  // so these aggregate cluster-wide.
+  obs::Counter* calls_;
+  obs::Counter* ok_;
+  obs::Counter* app_errors_;
+  obs::Counter* call_failed_;
+  obs::Counter* timeouts_;
+  obs::Histogram* latency_;
 };
 
 /// Result of a gather: per-target outcome, in target order.

@@ -1,0 +1,54 @@
+#ifndef DCP_OBS_JSON_H_
+#define DCP_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dcp::obs {
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding
+/// quotes). Control characters become \uXXXX.
+std::string JsonEscape(std::string_view s);
+
+/// Appends the shortest round-trippable decimal representation of `v`
+/// (via std::to_chars), so exports are byte-identical across runs and
+/// numbers survive a parse → re-serialize cycle exactly. Non-finite
+/// values are emitted as null (JSON has no NaN/Inf).
+void AppendJsonNumber(std::string* out, double v);
+
+/// A minimal JSON document node. This is intentionally a small,
+/// deterministic DOM for reading back files this repo itself writes
+/// (metrics snapshots, Chrome traces, bench output) — not a
+/// general-purpose JSON library.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                               ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;     ///< kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience accessors with defaults (for absent/mistyped members).
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+};
+
+/// Parses a complete JSON document. Returns false (leaving *out
+/// unspecified) on malformed input or trailing garbage. Supports the
+/// full JSON value grammar minus \u surrogate pairs beyond the BMP.
+bool ParseJson(std::string_view text, JsonValue* out);
+
+}  // namespace dcp::obs
+
+#endif  // DCP_OBS_JSON_H_

@@ -1,0 +1,21 @@
+#ifndef DCP_OBS_OBSERVABILITY_H_
+#define DCP_OBS_OBSERVABILITY_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dcp::obs {
+
+/// The per-simulation observability context: one metrics registry and
+/// one event tracer. The Simulator owns an instance and wires the
+/// tracer's clock to virtual time; every layer above (network, RPC,
+/// protocol, harness) reaches it through its simulator pointer, so no
+/// constructor signature in the stack had to change to thread it.
+struct Observability {
+  MetricsRegistry metrics;
+  EventTracer tracer;
+};
+
+}  // namespace dcp::obs
+
+#endif  // DCP_OBS_OBSERVABILITY_H_

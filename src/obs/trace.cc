@@ -1,0 +1,140 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace dcp::obs {
+
+void EventTracer::Record(char phase, std::string_view cat,
+                         std::string_view name, uint32_t pid, uint64_t id,
+                         Args args) {
+  TraceEvent e;
+  e.ts = clock_ ? clock_() : 0;
+  e.phase = phase;
+  e.pid = pid;
+  e.id = id;
+  e.cat = cat;
+  e.name = name;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void EventTracer::BeginSpan(std::string_view cat, std::string_view name,
+                            uint32_t pid, uint64_t id, Args args) {
+  if (!enabled_) return;
+  Record('b', cat, name, pid, id, std::move(args));
+}
+
+void EventTracer::EndSpan(std::string_view cat, std::string_view name,
+                          uint32_t pid, uint64_t id, Args args) {
+  if (!enabled_) return;
+  Record('e', cat, name, pid, id, std::move(args));
+}
+
+void EventTracer::Instant(std::string_view cat, std::string_view name,
+                          uint32_t pid, Args args) {
+  if (!enabled_) return;
+  Record('i', cat, name, pid, 0, std::move(args));
+}
+
+namespace {
+
+void AppendEventJson(std::string* out, const TraceEvent& e) {
+  *out += "{\"name\":\"";
+  *out += JsonEscape(e.name);
+  *out += "\",\"cat\":\"";
+  *out += JsonEscape(e.cat);
+  *out += "\",\"ph\":\"";
+  *out += e.phase;
+  *out += "\",\"ts\":";
+  AppendJsonNumber(out, e.ts);
+  *out += ",\"pid\":";
+  AppendJsonNumber(out, double(e.pid));
+  *out += ",\"tid\":";
+  AppendJsonNumber(out, double(e.pid));
+  if (e.phase == 'b' || e.phase == 'e') {
+    *out += ",\"id\":\"";
+    // Hex string: Chrome ids are strings; hex keeps 64-bit ids exact.
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(e.id));
+    *out += buf;
+    *out += '"';
+  }
+  if (e.phase == 'i') *out += ",\"s\":\"t\"";
+  if (!e.args.empty()) {
+    *out += ",\"args\":{";
+    bool first = true;
+    for (const auto& [k, v] : e.args) {
+      if (!first) *out += ',';
+      first = false;
+      *out += '"';
+      *out += JsonEscape(k);
+      *out += "\":\"";
+      *out += JsonEscape(v);
+      *out += '"';
+    }
+    *out += '}';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string EventTracer::ToChromeTraceJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i) out += ',';
+    AppendEventJson(&out, events_[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string EventTracer::ToJsonl() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    AppendEventJson(&out, e);
+    out += '\n';
+  }
+  return out;
+}
+
+bool EventTracer::FromChromeTraceJson(const std::string& json,
+                                      std::vector<TraceEvent>* out) {
+  JsonValue doc;
+  if (!ParseJson(json, &doc) || !doc.is_object()) return false;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) return false;
+  out->clear();
+  out->reserve(events->items.size());
+  for (const JsonValue& ev : events->items) {
+    if (!ev.is_object()) return false;
+    TraceEvent e;
+    e.name = ev.StringOr("name", "");
+    e.cat = ev.StringOr("cat", "");
+    std::string ph = ev.StringOr("ph", "i");
+    if (ph.size() != 1) return false;
+    e.phase = ph[0];
+    e.ts = ev.NumberOr("ts", 0);
+    e.pid = static_cast<uint32_t>(ev.NumberOr("pid", 0));
+    const JsonValue* id = ev.Find("id");
+    if (id != nullptr && id->kind == JsonValue::Kind::kString) {
+      e.id = std::strtoull(id->string.c_str(), nullptr, 16);
+    }
+    const JsonValue* args = ev.Find("args");
+    if (args != nullptr) {
+      if (!args->is_object()) return false;
+      for (const auto& [k, v] : args->members) {
+        if (v.kind != JsonValue::Kind::kString) return false;
+        e.args.emplace_back(k, v.string);
+      }
+    }
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+}  // namespace dcp::obs

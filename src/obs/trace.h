@@ -1,0 +1,93 @@
+#ifndef DCP_OBS_TRACE_H_
+#define DCP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dcp::obs {
+
+/// One structured trace record. Phases follow the Chrome trace_event
+/// vocabulary:
+///   'b' / 'e'  async span begin / end, correlated by (cat, id);
+///   'i'        instant event.
+/// `pid` is the node id the event happened on (the simulated "process");
+/// `ts` is sim time. Args are small ordered key/value pairs.
+struct TraceEvent {
+  double ts = 0;
+  char phase = 'i';
+  uint32_t pid = 0;
+  uint64_t id = 0;
+  std::string cat;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Records protocol-level events (operation spans, 2PC phases, epoch
+/// transitions, RPC lifetimes, network faults) for offline inspection.
+/// Disabled by default: every record call is a single branch until a
+/// harness opts in, so the tracer adds nothing to untraced runs — and,
+/// because it only *observes*, enabling it never perturbs the simulation
+/// (traces across identically seeded runs are byte-identical).
+///
+/// The timestamp source is injected (the Simulator wires its virtual
+/// clock in), keeping this layer free of wall-clock nondeterminism.
+class EventTracer {
+ public:
+  EventTracer() = default;
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Installs the time source; events record clock() at emission.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  /// Async span begin/end, correlated by (cat, id). Begin/end may land on
+  /// different nodes (e.g. an RPC observed from the caller). string_view
+  /// params keep disabled-tracer calls allocation-free.
+  void BeginSpan(std::string_view cat, std::string_view name, uint32_t pid,
+                 uint64_t id, Args args = {});
+  void EndSpan(std::string_view cat, std::string_view name, uint32_t pid,
+               uint64_t id, Args args = {});
+  void Instant(std::string_view cat, std::string_view name, uint32_t pid,
+               Args args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Chrome trace_event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  /// Loadable in chrome://tracing and Perfetto. Sim time maps to the
+  /// "ts" microsecond field 1:1 (the unit is virtual anyway).
+  std::string ToChromeTraceJson() const;
+
+  /// One event object per line (same shape as traceEvents entries), for
+  /// streaming consumers (jq, pandas).
+  std::string ToJsonl() const;
+
+  /// Parses a Chrome-trace JSON document produced by ToChromeTraceJson
+  /// back into events — the round-trip used by tests and trace tooling.
+  /// Returns false on malformed input.
+  static bool FromChromeTraceJson(const std::string& json,
+                                  std::vector<TraceEvent>* out);
+
+ private:
+  void Record(char phase, std::string_view cat, std::string_view name,
+              uint32_t pid, uint64_t id, Args args);
+
+  bool enabled_ = false;
+  std::function<double()> clock_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dcp::obs
+
+#endif  // DCP_OBS_TRACE_H_

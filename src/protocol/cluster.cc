@@ -36,6 +36,7 @@ std::unique_ptr<coterie::CoterieRule> MakeCoterieRule(CoterieKind kind) {
 
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.enable_tracing) sim_.tracer().set_enabled(true);
   rule_ = MakeCoterieRule(options_.coterie);
   network_ = std::make_unique<net::Network>(&sim_, rng_.Fork(),
                                             options_.latency);

@@ -52,6 +52,11 @@ struct ClusterOptions {
   /// Start the background epoch-check/election daemons on every node.
   bool start_epoch_daemons = false;
   EpochDaemonOptions daemon_options;
+
+  /// Record structured trace events (RPC / 2PC / epoch spans) from the
+  /// start. Off by default: tracing observes only and never perturbs the
+  /// simulation, but event storage costs memory on long runs.
+  bool enable_tracing = false;
 };
 
 /// An in-simulator deployment of one replicated data item: N replica
@@ -67,6 +72,8 @@ class Cluster {
 
   sim::Simulator& simulator() { return sim_; }
   net::Network& network() { return *network_; }
+  obs::MetricsRegistry& metrics() { return sim_.metrics(); }
+  obs::EventTracer& tracer() { return sim_.tracer(); }
   const coterie::CoterieRule& rule() const { return *rule_; }
   ReplicaNode& node(NodeId id) { return *nodes_[id]; }
   const ReplicaNode& node(NodeId id) const { return *nodes_[id]; }

@@ -18,6 +18,13 @@ EpochDaemon::EpochDaemon(ReplicaNode* node, EpochDaemonOptions options)
   believed_leader_ = all.NthMember(all.Size() - 1);
   last_leader_heard_ = node_->simulator()->Now();
 
+  obs::MetricsRegistry& m = node_->simulator()->metrics();
+  const std::string p = "daemon." + std::to_string(node_->self()) + ".";
+  counters_.checks_run = m.counter(p + "checks_run");
+  counters_.checks_failed = m.counter(p + "checks_failed");
+  counters_.elections_started = m.counter(p + "elections_started");
+  counters_.leaderships_assumed = m.counter(p + "leaderships_assumed");
+
   node_->set_extension_handler(
       [this](NodeId from, const std::string& type, const PayloadPtr& req) {
         return HandleExtension(from, type, req);
@@ -32,6 +39,15 @@ EpochDaemon::EpochDaemon(ReplicaNode* node, EpochDaemonOptions options)
 }
 
 EpochDaemon::~EpochDaemon() = default;
+
+EpochDaemonStats EpochDaemon::stats() const {
+  EpochDaemonStats s;
+  s.checks_run = counters_.checks_run->value();
+  s.checks_failed = counters_.checks_failed->value();
+  s.elections_started = counters_.elections_started->value();
+  s.leaderships_assumed = counters_.leaderships_assumed->value();
+  return s;
+}
 
 void EpochDaemon::OnCrash() {
   check_in_flight_ = false;
@@ -60,9 +76,9 @@ void EpochDaemon::Tick() {
       StartEpochCheck(node_, [this](Status s) {
         check_in_flight_ = false;
         if (s.ok()) {
-          ++stats_.checks_run;
+          counters_.checks_run->Increment();
         } else {
-          ++stats_.checks_failed;
+          counters_.checks_failed->Increment();
         }
       });
     }
@@ -75,7 +91,9 @@ void EpochDaemon::Tick() {
 void EpochDaemon::Campaign() {
   if (campaigning_) return;
   campaigning_ = true;
-  ++stats_.elections_started;
+  counters_.elections_started->Increment();
+  node_->simulator()->tracer().Instant("epoch", "election.start",
+                                       node_->self(), {});
 
   // Bully: any live higher-named node outranks us.
   NodeSet higher;
@@ -106,7 +124,9 @@ void EpochDaemon::Campaign() {
 void EpochDaemon::AssumeLeadership() {
   if (believed_leader_ == node_->self()) return;
   believed_leader_ = node_->self();
-  ++stats_.leaderships_assumed;
+  counters_.leaderships_assumed->Increment();
+  node_->simulator()->tracer().Instant("epoch", "election.leader",
+                                       node_->self(), {});
   auto announce = std::make_shared<LeaderAnnouncement>();
   announce->leader = node_->self();
   NodeSet others = node_->all_nodes();

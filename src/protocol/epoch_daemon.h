@@ -21,6 +21,7 @@ struct EpochDaemonOptions {
   sim::Time leader_timeout = 900.0;
 };
 
+/// Snapshot view of one daemon's registry counters ("daemon.<id>.*").
 struct EpochDaemonStats {
   uint64_t checks_run = 0;
   uint64_t checks_failed = 0;
@@ -39,7 +40,7 @@ class EpochDaemon {
   EpochDaemon& operator=(const EpochDaemon&) = delete;
 
   NodeId believed_leader() const { return believed_leader_; }
-  const EpochDaemonStats& stats() const { return stats_; }
+  EpochDaemonStats stats() const;
 
   /// Called by the cluster harness around fail-stop events.
   void OnCrash();
@@ -52,9 +53,17 @@ class EpochDaemon {
   Result<net::PayloadPtr> HandleExtension(NodeId from, const std::string& type,
                                           const net::PayloadPtr& request);
 
+  /// Registry handles ("daemon.<id>.*"), cached at construction.
+  struct DaemonCounters {
+    obs::Counter* checks_run;
+    obs::Counter* checks_failed;
+    obs::Counter* elections_started;
+    obs::Counter* leaderships_assumed;
+  };
+
   ReplicaNode* node_;
   EpochDaemonOptions options_;
-  EpochDaemonStats stats_;
+  DaemonCounters counters_;
   std::unique_ptr<sim::PeriodicTask> ticker_;
   NodeId believed_leader_;
   sim::Time last_leader_heard_ = 0;

@@ -68,6 +68,13 @@ NodeSet GoodSet(const TupleMap& tuples, Version max_version) {
   return good;
 }
 
+/// Trace-span correlation id for an operation (same folding as the RPC
+/// and 2PC layers; categories keep the id spaces apart).
+uint64_t OpSpanId(const LockOwner& owner) {
+  return (static_cast<uint64_t>(owner.coordinator) << 40) |
+         owner.operation_id;
+}
+
 /// A selector mixing the coordinator id and operation id, so consecutive
 /// operations (and different coordinators) rotate across quorums.
 uint64_t SelectorFor(NodeId self, uint64_t op_id) {
@@ -102,14 +109,19 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
     owner_.coordinator = node_->self();
     owner_.operation_id = node_->NextOperationId();
     started_at_ = node_->simulator()->Now();
+    span_id_ = OpSpanId(owner_);  // Fixed even if retries re-id the tx.
   }
 
   void Start() {
+    sim::Simulator* sim = node_->simulator();
+    sim->metrics().counter("op.write.started")->Increment();
+    sim->tracer().BeginSpan("op", "write", node_->self(), span_id_,
+                            {{"object", std::to_string(object_)}});
     uint64_t selector = SelectorFor(owner_.coordinator, owner_.operation_id);
     Result<NodeSet> quorum =
         node_->rule().WriteQuorum(node_->epoch().list, selector);
     if (!quorum.ok()) {
-      done_(quorum.status());
+      Complete(quorum.status());
       return;
     }
     auto self = shared_from_this();
@@ -157,6 +169,9 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
   /// the locks already held) and re-evaluate.
   void StartHeavyProcedure() {
     heavy_ = true;
+    node_->simulator()->metrics().counter("op.write.heavy")->Increment();
+    node_->simulator()->tracer().Instant("op", "op.write.heavy",
+                                         node_->self(), {});
     NodeSet remaining = node_->all_nodes().Difference(KeysOf(held_));
     auto self = shared_from_this();
     LockNodes(remaining, [self](bool) {
@@ -296,7 +311,7 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
         },
         [self, new_version](Status s) {
           if (s.ok()) {
-            self->done_(WriteOutcome{new_version});
+            self->Complete(WriteOutcome{new_version});
             return;
           }
           // "if-failed HeavyProcedure": the aborted 2PC released every
@@ -310,7 +325,7 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
           if (!self->heavy_) {
             self->StartHeavyProcedure();
           } else {
-            self->done_(s);
+            self->Complete(s);
           }
         });
   }
@@ -318,7 +333,26 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
   void Fail(Status status) {
     auto self = shared_from_this();
     ReleaseLocks(node_, owner_, KeysOf(held_),
-                 [self, status] { self->done_(status); });
+                 [self, status] { self->Complete(status); });
+  }
+
+  /// Single exit point: settles the op's metrics and trace span, then
+  /// hands the result to the caller.
+  void Complete(Result<WriteOutcome> result) {
+    sim::Simulator* sim = node_->simulator();
+    obs::MetricsRegistry& m = sim->metrics();
+    std::string outcome;
+    if (result.ok()) {
+      m.counter("op.write.committed")->Increment();
+      m.histogram("op.write.latency")->Observe(sim->Now() - started_at_);
+      outcome = "ok";
+    } else {
+      m.counter("op.write.failed")->Increment();
+      outcome = StatusCodeName(result.status().code());
+    }
+    sim->tracer().EndSpan("op", "write", node_->self(), span_id_,
+                          {{"outcome", std::move(outcome)}});
+    done_(std::move(result));
   }
 
   ReplicaNode* node_;
@@ -328,6 +362,7 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
   HistoryRecorder* history_;
   WriteDone done_;
   LockOwner owner_;
+  uint64_t span_id_ = 0;
   sim::Time started_at_ = 0;
   TupleMap held_;
   bool heavy_ = false;
@@ -349,14 +384,19 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
     owner_.coordinator = node_->self();
     owner_.operation_id = node_->NextOperationId();
     started_at_ = node_->simulator()->Now();
+    span_id_ = OpSpanId(owner_);
   }
 
   void Start() {
+    sim::Simulator* sim = node_->simulator();
+    sim->metrics().counter("op.read.started")->Increment();
+    sim->tracer().BeginSpan("op", "read", node_->self(), span_id_,
+                            {{"object", std::to_string(object_)}});
     uint64_t selector = SelectorFor(owner_.coordinator, owner_.operation_id);
     Result<NodeSet> quorum =
         node_->rule().ReadQuorum(node_->epoch().list, selector);
     if (!quorum.ok()) {
-      done_(quorum.status());
+      Complete(quorum.status());
       return;
     }
     auto self = shared_from_this();
@@ -397,6 +437,9 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
 
   void StartHeavyRead() {
     heavy_ = true;
+    node_->simulator()->metrics().counter("op.read.heavy")->Increment();
+    node_->simulator()->tracer().Instant("op", "op.read.heavy",
+                                         node_->self(), {});
     NodeSet remaining = node_->all_nodes().Difference(KeysOf(held_));
     auto self = shared_from_this();
     LockNodes(remaining, [self] {
@@ -455,13 +498,31 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
     }
     auto self = shared_from_this();
     ReleaseLocks(node_, owner_, KeysOf(held_),
-                 [self, out = std::move(out)] { self->done_(out); });
+                 [self, out = std::move(out)] { self->Complete(out); });
   }
 
   void Fail(Status status) {
     auto self = shared_from_this();
     ReleaseLocks(node_, owner_, KeysOf(held_),
-                 [self, status] { self->done_(status); });
+                 [self, status] { self->Complete(status); });
+  }
+
+  /// Single exit point mirroring WriteOp::Complete.
+  void Complete(Result<ReadOutcome> result) {
+    sim::Simulator* sim = node_->simulator();
+    obs::MetricsRegistry& m = sim->metrics();
+    std::string outcome;
+    if (result.ok()) {
+      m.counter("op.read.committed")->Increment();
+      m.histogram("op.read.latency")->Observe(sim->Now() - started_at_);
+      outcome = "ok";
+    } else {
+      m.counter("op.read.failed")->Increment();
+      outcome = StatusCodeName(result.status().code());
+    }
+    sim->tracer().EndSpan("op", "read", node_->self(), span_id_,
+                          {{"outcome", std::move(outcome)}});
+    done_(std::move(result));
   }
 
   ReplicaNode* node_;
@@ -469,6 +530,7 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
   HistoryRecorder* history_;
   ReadDone done_;
   LockOwner owner_;
+  uint64_t span_id_ = 0;
   sim::Time started_at_ = 0;
   TupleMap held_;
   bool heavy_ = false;
@@ -485,9 +547,14 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
       : node_(node), done_(std::move(done)) {
     owner_.coordinator = node_->self();
     owner_.operation_id = node_->NextOperationId();
+    span_id_ = OpSpanId(owner_);
   }
 
   void Start() {
+    sim::Simulator* sim = node_->simulator();
+    sim->metrics().counter("epoch.checks_started")->Increment();
+    sim->tracer().BeginSpan("epoch", "epoch.check", node_->self(), span_id_,
+                            {});
     auto self = shared_from_this();
     net::MulticastGather(
         &node_->rpc(), node_->all_nodes(), msg::kEpochPoll,
@@ -505,7 +572,7 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
  private:
   void Evaluate(std::map<NodeId, EpochPollResponse> responded) {
     if (responded.empty()) {
-      done_(Status::Unavailable("no replica responded to the epoch poll"));
+      Complete(Status::Unavailable("no replica responded to the epoch poll"));
       return;
     }
     // The epoch part of the analysis spans the whole group.
@@ -520,13 +587,13 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
       }
     }
     if (!node_->rule().IsWriteQuorum(max_epoch_list, new_epoch)) {
-      done_(Status::Unavailable(
+      Complete(Status::Unavailable(
           "respondents do not include a write quorum of epoch " +
           std::to_string(max_epoch)));
       return;
     }
     if (new_epoch == max_epoch_list) {
-      done_(Status::OK());  // Nothing changed since the last check.
+      Complete(Status::OK());  // Nothing changed since the last check.
       return;
     }
 
@@ -554,7 +621,7 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
     }
     for (auto& [object, oa] : by_object) {
       if (!oa.max_version.has_value() || *oa.max_version < oa.max_dversion) {
-        done_(Status::StaleData(
+        Complete(Status::StaleData(
             "object " + std::to_string(object) +
             " has no current replica among respondents; epoch unchanged"));
         return;
@@ -595,12 +662,26 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
     }
     auto self = shared_from_this();
     TwoPhaseCommit::Run(node_, owner_, std::move(actions), nullptr,
-                        [self](Status s) { self->done_(s); });
+                        [self](Status s) { self->Complete(s); });
+  }
+
+  /// Single exit point: settles the epoch-check metrics and span.
+  void Complete(Status s) {
+    sim::Simulator* sim = node_->simulator();
+    sim->metrics()
+        .counter(s.ok() ? "epoch.checks_ok" : "epoch.checks_failed")
+        ->Increment();
+    std::string outcome(s.ok() ? std::string_view("ok")
+                                : StatusCodeName(s.code()));
+    sim->tracer().EndSpan("epoch", "epoch.check", node_->self(), span_id_,
+                          {{"outcome", std::move(outcome)}});
+    done_(s);
   }
 
   ReplicaNode* node_;
   EpochCheckDone done_;
   LockOwner owner_;
+  uint64_t span_id_ = 0;
 };
 
 }  // namespace

@@ -28,6 +28,36 @@ ReplicaNode::ReplicaNode(net::Network* network, NodeId self,
                                   std::move(initial_values[id])));
   }
   rpc_.set_service(this);
+
+  obs::MetricsRegistry& m = simulator()->metrics();
+  const std::string p = "node." + std::to_string(self) + ".";
+  counters_.locks_granted = m.counter(p + "locks_granted");
+  counters_.lock_conflicts = m.counter(p + "lock_conflicts");
+  counters_.lock_steals = m.counter(p + "lock_steals");
+  counters_.prepares = m.counter(p + "prepares");
+  counters_.commits = m.counter(p + "commits");
+  counters_.aborts = m.counter(p + "aborts");
+  counters_.termination_polls = m.counter(p + "termination_polls");
+  counters_.presumed_aborts = m.counter(p + "presumed_aborts");
+  counters_.propagation_offers_sent = m.counter(p + "propagation_offers_sent");
+  counters_.propagations_completed = m.counter(p + "propagations_completed");
+  counters_.propagations_received = m.counter(p + "propagations_received");
+}
+
+ReplicaNodeStats ReplicaNode::stats() const {
+  ReplicaNodeStats s;
+  s.locks_granted = counters_.locks_granted->value();
+  s.lock_conflicts = counters_.lock_conflicts->value();
+  s.lock_steals = counters_.lock_steals->value();
+  s.prepares = counters_.prepares->value();
+  s.commits = counters_.commits->value();
+  s.aborts = counters_.aborts->value();
+  s.termination_polls = counters_.termination_polls->value();
+  s.presumed_aborts = counters_.presumed_aborts->value();
+  s.propagation_offers_sent = counters_.propagation_offers_sent->value();
+  s.propagations_completed = counters_.propagations_completed->value();
+  s.propagations_received = counters_.propagations_received->value();
+  return s;
 }
 
 void ReplicaNode::Crash() {
@@ -121,16 +151,16 @@ Status ReplicaNode::TryLock(ObjectId object, const LockOwner& owner,
     for (const LockOwner& holder : store.shared_owners()) consider(holder);
     for (const LockOwner& victim : evict) {
       store.Unlock(victim);
-      ++stats_.lock_steals;
+      counters_.lock_steals->Increment();
     }
     if (!evict.empty()) s = store.Lock(owner, exclusive);
   }
   if (s.ok()) {
     lock_acquired_at_[KeyOf(owner)] = simulator()->Now();
     if (op_started > 0) op_started_at_[KeyOf(owner)] = op_started;
-    ++stats_.locks_granted;
+    counters_.locks_granted->Increment();
   } else {
-    ++stats_.lock_conflicts;
+    counters_.lock_conflicts->Increment();
   }
   return s;
 }
@@ -240,7 +270,7 @@ Result<PayloadPtr> ReplicaNode::HandlePrepare(const PrepareRequest& req) {
 
   staged_[KeyOf(req.owner)] = Staged{req.owner, req.action,
                                      req.participants};
-  ++stats_.prepares;
+  counters_.prepares->Increment();
   ArmTerminationTimer(req.owner);
   return PayloadPtr(MakePayload<AckResponse>());
 }
@@ -300,12 +330,16 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
   Staged staged = std::move(it->second);
   staged_.erase(it);
   RecordOutcome(staged.owner, TxOutcome::kCommitted);
-  ++stats_.commits;
+  counters_.commits->Increment();
 
   const StagedAction& action = staged.action;
   if (action.install_epoch) {
     epoch_->number = action.epoch_number;
     epoch_->list = action.epoch_list;
+    simulator()->tracer().Instant(
+        "epoch", "epoch.install", self_,
+        {{"number", std::to_string(action.epoch_number)},
+         {"members", std::to_string(action.epoch_list.Size())}});
   }
   for (const ObjectAction& act : action.objects) {
     storage::ReplicaStore& store = objects_.at(act.object);
@@ -338,7 +372,13 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
       // after propagation) must not be re-marked.
       Version dv = act.desired_version;
       if (store.stale()) dv = std::max(dv, store.desired_version());
-      if (store.version() < dv) store.MarkStale(dv);
+      if (store.version() < dv) {
+        store.MarkStale(dv);
+        simulator()->tracer().Instant(
+            "node", "node.mark_stale", self_,
+            {{"object", std::to_string(act.object)},
+             {"dversion", std::to_string(dv)}});
+      }
     }
     if (!act.propagate_to.Empty()) {
       AddPropagationTargets(act.object, act.propagate_to);
@@ -353,7 +393,7 @@ void ReplicaNode::AbortStaged(const LockOwner& tx) {
   Staged staged = std::move(it->second);
   staged_.erase(it);
   RecordOutcome(staged.owner, TxOutcome::kAborted);
-  ++stats_.aborts;
+  counters_.aborts->Increment();
   UnlockEverywhere(staged.owner);
 }
 
@@ -371,7 +411,7 @@ void ReplicaNode::ArmTerminationTimer(const LockOwner& tx) {
 void ReplicaNode::RunTerminationProtocol(const LockOwner& tx) {
   auto it = staged_.find(KeyOf(tx));
   assert(it != staged_.end());
-  ++stats_.termination_polls;
+  counters_.termination_polls->Increment();
   NodeSet peers = it->second.participants;
   peers.Erase(self());
 
@@ -396,7 +436,7 @@ void ReplicaNode::RunTerminationProtocol(const LockOwner& tx) {
                   // Presumed abort: the coordinator logs its decision
                   // before sending phase 2, so "no record, not deciding"
                   // means it never committed.
-                  ++stats_.presumed_aborts;
+                  counters_.presumed_aborts->Increment();
                   AbortStaged(tx);
                   return;
                 }
@@ -517,7 +557,10 @@ void ReplicaNode::OfferPropagation(ObjectId object, NodeId target) {
   offer->object = object;
   offer->source_version = objects_.at(object).version();
   offer->transfer_id = transfer_id;
-  ++stats_.propagation_offers_sent;
+  counters_.propagation_offers_sent->Increment();
+  simulator()->tracer().Instant("prop", "prop.offer", self_,
+                                {{"object", std::to_string(object)},
+                                 {"target", std::to_string(target)}});
 
   rpc_.Call(target, msg::kPropOffer, offer,
             [this, object, target, transfer_id](net::RpcResult r) {
@@ -552,7 +595,7 @@ void ReplicaNode::OfferPropagation(ObjectId object, NodeId target) {
               [this, object, target](net::RpcResult rr) {
                 if (!rr.ok()) return;  // Stays pending; next round retries.
                 pending_propagation_[object].Erase(target);
-                ++stats_.propagations_completed;
+                counters_.propagations_completed->Increment();
               });
   });
 }
@@ -634,7 +677,11 @@ Result<PayloadPtr> ReplicaNode::HandlePropData(NodeId from,
   }
   if (store.version() >= store.desired_version()) {
     store.ClearStale();
-    ++stats_.propagations_received;
+    counters_.propagations_received->Increment();
+    simulator()->tracer().Instant("prop", "prop.caught_up", self_,
+                                  {{"object", std::to_string(req.object)},
+                                   {"version",
+                                    std::to_string(store.version())}});
   }
   release();
   auto reply = std::make_shared<PropagationDataReply>();

@@ -57,7 +57,9 @@ struct ReplicaNodeOptions {
   sim::Time rpc_timeout = 100.0;
 };
 
-/// Statistics a node keeps about its own protocol activity.
+/// Statistics a node keeps about its own protocol activity. Snapshot
+/// view — the live values are registry counters under "node.<id>.*"
+/// (see ReplicaNode::stats).
 struct ReplicaNodeStats {
   uint64_t locks_granted = 0;
   uint64_t lock_conflicts = 0;
@@ -120,7 +122,8 @@ class ReplicaNode : public net::RpcService {
   const coterie::CoterieRule& rule() const { return *rule_; }
   const NodeSet& all_nodes() const { return all_nodes_; }
   const ReplicaNodeOptions& options() const { return options_; }
-  const ReplicaNodeStats& stats() const { return stats_; }
+  /// Snapshot of this node's registry counters ("node.<id>.*").
+  ReplicaNodeStats stats() const;
   sim::Simulator* simulator() { return rpc_.network()->simulator(); }
 
   /// Fail-stop crash: volatile state (locks, lock leases, outstanding
@@ -216,6 +219,22 @@ class ReplicaNode : public net::RpcService {
   void OfferPropagation(ObjectId object, NodeId target);
   bool HasPendingPropagation() const;
 
+  /// Registry handles for this node's protocol counters ("node.<id>.*"),
+  /// cached at construction so increments never do a by-name lookup.
+  struct NodeCounters {
+    obs::Counter* locks_granted;
+    obs::Counter* lock_conflicts;
+    obs::Counter* lock_steals;
+    obs::Counter* prepares;
+    obs::Counter* commits;
+    obs::Counter* aborts;
+    obs::Counter* termination_polls;
+    obs::Counter* presumed_aborts;
+    obs::Counter* propagation_offers_sent;
+    obs::Counter* propagations_completed;
+    obs::Counter* propagations_received;
+  };
+
   net::RpcRuntime rpc_;
   NodeId self_;
   std::shared_ptr<storage::EpochRecord> epoch_;
@@ -223,7 +242,7 @@ class ReplicaNode : public net::RpcService {
   NodeSet all_nodes_;
   const coterie::CoterieRule* rule_;
   ReplicaNodeOptions options_;
-  ReplicaNodeStats stats_;
+  NodeCounters counters_;
   ExtensionHandler extension_handler_;
 
   // Persistent: 2PC participant + coordinator logs. Several transactions

@@ -9,6 +9,16 @@ namespace dcp::protocol {
 
 using net::MakePayload;
 
+namespace {
+
+/// Trace-span correlation id for a transaction: the lock owner is already
+/// globally unique, so fold it into one word the same way RPC ids are.
+uint64_t TxSpanId(const LockOwner& tx) {
+  return (static_cast<uint64_t>(tx.coordinator) << 40) | tx.operation_id;
+}
+
+}  // namespace
+
 void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
                          std::map<NodeId, StagedAction> actions,
                          DecisionHook on_decide, Done done) {
@@ -16,6 +26,12 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
   for (const auto& [node, action] : actions) participants.Insert(node);
 
   coordinator->BeginCoordinatedTx(tx);
+
+  sim::Simulator* sim = coordinator->simulator();
+  sim->metrics().counter("twopc.started")->Increment();
+  sim->tracer().BeginSpan(
+      "2pc", "2pc.prepare", tx.coordinator, TxSpanId(tx),
+      {{"participants", std::to_string(participants.Size())}});
 
   // Phase 1: prepare. Each participant gets its own action, so this is a
   // per-node Call loop rather than a MulticastGather.
@@ -45,9 +61,23 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
     state->coordinator->DecideCoordinatedTx(state->tx, outcome);
     if (state->on_decide) state->on_decide(outcome);
 
+    sim::Simulator* sim = state->coordinator->simulator();
+    const bool committed = outcome == TxOutcome::kCommitted;
+    const uint64_t span_id = TxSpanId(state->tx);
+    const char* phase2_span = committed ? "2pc.commit" : "2pc.abort";
+    sim->metrics()
+        .counter(committed ? "twopc.committed" : "twopc.aborted")
+        ->Increment();
+    obs::EventTracer& tracer = sim->tracer();
+    tracer.EndSpan("2pc", "2pc.prepare", state->tx.coordinator, span_id,
+                   {{"outcome", committed ? "commit" : "abort"}});
+    tracer.Instant("2pc", "2pc.decide", state->tx.coordinator,
+                   {{"outcome", committed ? "commit" : "abort"}});
+    tracer.BeginSpan("2pc", phase2_span, state->tx.coordinator, span_id, {});
+
     net::PayloadPtr phase2;
     const char* type;
-    if (outcome == TxOutcome::kCommitted) {
+    if (committed) {
       auto commit = std::make_shared<CommitRequest>();
       commit->owner = state->tx;
       phase2 = std::move(commit);
@@ -60,9 +90,11 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
     }
     net::MulticastGather(
         &state->coordinator->rpc(), state->participants, type, phase2,
-        [state, outcome](net::GatherResult) {
+        [state, outcome, phase2_span, span_id](net::GatherResult) {
           // Unreachable participants resolve via cooperative termination;
           // the transaction outcome is already decided either way.
+          state->coordinator->simulator()->tracer().EndSpan(
+              "2pc", phase2_span, state->tx.coordinator, span_id, {});
           if (outcome == TxOutcome::kCommitted) {
             state->done(Status::OK());
           } else {

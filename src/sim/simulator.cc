@@ -4,6 +4,13 @@
 
 namespace dcp::sim {
 
+Simulator::Simulator() {
+  obs_.tracer.set_clock([this] { return now_; });
+  scheduled_counter_ = obs_.metrics.counter("sim.events_scheduled");
+  executed_counter_ = obs_.metrics.counter("sim.events_executed");
+  cancelled_counter_ = obs_.metrics.counter("sim.events_cancelled");
+}
+
 EventId Simulator::Schedule(Time delay, std::function<void()> fn) {
   assert(delay >= 0);
   return ScheduleAt(now_ + delay, std::move(fn));
@@ -14,6 +21,7 @@ EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
   Key key{when, next_seq_++};
   queue_.emplace(key, std::move(fn));
   index_.emplace(key.seq, when);
+  scheduled_counter_->Increment();
   return EventId{key.seq};
 }
 
@@ -23,6 +31,7 @@ bool Simulator::Cancel(EventId id) {
   if (idx == index_.end()) return false;
   queue_.erase(Key{idx->second, id.seq});
   index_.erase(idx);
+  cancelled_counter_->Increment();
   return true;
 }
 
@@ -34,6 +43,7 @@ bool Simulator::Step() {
   index_.erase(it->first.seq);
   queue_.erase(it);
   ++events_executed_;
+  executed_counter_->Increment();
   fn();
   return true;
 }

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/observability.h"
+
 namespace dcp::sim {
 
 /// Virtual time, in arbitrary units (the availability benches interpret it
@@ -27,12 +29,20 @@ struct EventId {
 /// distributed system comes from interleaving events, not OS threads.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
   Time Now() const { return now_; }
+
+  /// The simulation's observability context. The tracer's clock is wired
+  /// to this simulator's virtual time; layers above reach metrics and
+  /// tracing through their simulator pointer.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
+  obs::MetricsRegistry& metrics() { return obs_.metrics; }
+  obs::EventTracer& tracer() { return obs_.tracer; }
 
   /// Schedules `fn` to run at `Now() + delay` (delay must be >= 0).
   EventId Schedule(Time delay, std::function<void()> fn);
@@ -76,6 +86,13 @@ class Simulator {
   std::map<Key, std::function<void()>> queue_;
   // seq -> scheduled time, so Cancel can reconstruct the map key.
   std::unordered_map<uint64_t, Time> index_;
+
+  obs::Observability obs_;
+  // Kernel self-metrics, cached at construction (registry handles are
+  // stable): scheduled / executed / cancelled event counts.
+  obs::Counter* scheduled_counter_;
+  obs::Counter* executed_counter_;
+  obs::Counter* cancelled_counter_;
 };
 
 /// Re-arms itself on a fixed period until stopped. Used for the paper's
