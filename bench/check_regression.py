@@ -29,6 +29,12 @@ def classify(name):
         return "higher_is_worse"
     if name.endswith("_success") or name.endswith("success_rate"):
         return "lower_is_worse"
+    # Relative-performance ratios (e.g. sim_core's heap-vs-map speedup):
+    # both sides of the ratio run on the same machine in the same
+    # process, so unlike raw ops/sec these are stable enough to gate on.
+    # Absolute throughputs stay informational.
+    if name.endswith("_speedup"):
+        return "lower_is_worse"
     return "info"
 
 

@@ -1,0 +1,253 @@
+// Microbenchmarks for the simulator core and the RPC hot path.
+//
+// The event queue is the innermost loop of every experiment in this
+// repo: a nemesis run executes millions of schedule/cancel/step
+// operations (every RPC arms a timeout that is almost always cancelled
+// when the reply beats it). To keep the d-ary-heap queue honest, this
+// bench embeds the previous implementation — an ordered std::map keyed
+// by (time, seq) plus an unordered_map side index for Cancel — and runs
+// both through identical operation streams. The gated metric is the
+// RATIO (suffix "_speedup"): absolute ops/sec vary with the machine,
+// but heap-vs-map on the same machine is stable, so the CI gate fails
+// only if the heap loses its edge.
+//
+//   sim_core [--quick] [--metrics-json PATH]
+//
+// --quick shrinks iteration counts ~20x for the ctest perf lane.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_json.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+#include "util/node_set.h"
+#include "util/random.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// The pre-heap event queue, preserved verbatim in shape: an ordered map
+/// keyed by (time, seq) — O(log n) pop-min AND O(log n) schedule, one
+/// node allocation per event — with a hash side index so Cancel can find
+/// the map key by event id.
+class MapEventQueue {
+ public:
+  struct Id {
+    uint64_t seq = 0;
+  };
+
+  Id Schedule(double delay, std::function<void()> fn) {
+    uint64_t seq = ++next_seq_;
+    double when = now_ + delay;
+    events_.emplace(std::make_pair(when, seq), std::move(fn));
+    index_.emplace(seq, when);
+    return Id{seq};
+  }
+
+  bool Cancel(Id id) {
+    auto it = index_.find(id.seq);
+    if (it == index_.end()) return false;
+    events_.erase({it->second, id.seq});
+    index_.erase(it);
+    return true;
+  }
+
+  bool Step() {
+    if (events_.empty()) return false;
+    auto it = events_.begin();
+    now_ = it->first.first;
+    std::function<void()> fn = std::move(it->second);
+    index_.erase(it->first.second);
+    events_.erase(it);
+    fn();
+    return true;
+  }
+
+ private:
+  std::map<std::pair<double, uint64_t>, std::function<void()>> events_;
+  std::unordered_map<uint64_t, double> index_;
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+/// The RPC timeout pattern: per iteration, schedule a burst of events at
+/// scattered delays, cancel all but one before it fires, execute the
+/// survivor. Queue depth stays bounded, cancelled share is 7/8 — the
+/// same shape an RPC-heavy run produces. Returns ops/sec (schedules +
+/// cancels + steps).
+template <typename Queue>
+double ScheduleCancelMix(Queue& q, uint64_t iters) {
+  dcp::Rng rng(42);
+  const Clock::time_point t0 = Clock::now();
+  for (uint64_t i = 0; i < iters; ++i) {
+    decltype(q.Schedule(0.0, std::function<void()>())) ids[8];
+    for (int j = 0; j < 8; ++j) {
+      double delay = 1.0 + static_cast<double>(rng.Next64() % 997) / 64.0;
+      ids[j] = q.Schedule(delay, [] {});
+    }
+    for (int j = 1; j < 8; ++j) q.Cancel(ids[j]);
+    q.Step();
+  }
+  while (q.Step()) {
+  }
+  return static_cast<double>(iters * 16) / Seconds(t0, Clock::now());
+}
+
+/// Pure schedule/step throughput (no cancellations): the fault-free
+/// message-delivery pattern.
+template <typename Queue>
+double ScheduleStepMix(Queue& q, uint64_t iters) {
+  dcp::Rng rng(43);
+  const Clock::time_point t0 = Clock::now();
+  for (uint64_t i = 0; i < iters; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double delay = 1.0 + static_cast<double>(rng.Next64() % 997) / 64.0;
+      q.Schedule(delay, [] {});
+    }
+    for (int j = 0; j < 4; ++j) q.Step();
+  }
+  return static_cast<double>(iters * 8) / Seconds(t0, Clock::now());
+}
+
+class EchoService : public dcp::net::RpcService {
+ public:
+  dcp::Result<dcp::net::PayloadPtr> HandleRequest(
+      dcp::NodeId, const std::string&,
+      const dcp::net::PayloadPtr& request) override {
+    return request;
+  }
+};
+
+/// End-to-end RPC round trips through the simulated network (request +
+/// reply + timeout arm/cancel), batched to keep a realistic number of
+/// calls in flight. Returns completed calls per second.
+double RpcRoundTrips(uint64_t calls) {
+  dcp::sim::Simulator sim;
+  dcp::net::Network network(&sim, dcp::Rng(7),
+                            dcp::net::LatencyModel{1.0, 0.5});
+  EchoService svc;
+  dcp::net::RpcRuntime a(&network, 0), b(&network, 1);
+  b.set_service(&svc);
+  uint64_t completed = 0;
+  const uint64_t kBatch = 64;
+  const Clock::time_point t0 = Clock::now();
+  for (uint64_t issued = 0; issued < calls; issued += kBatch) {
+    for (uint64_t k = 0; k < kBatch; ++k) {
+      a.Call(1, "echo", nullptr,
+             [&completed](dcp::net::RpcResult) { ++completed; });
+    }
+    sim.Run();
+  }
+  double secs = Seconds(t0, Clock::now());
+  if (completed == 0) return 0;
+  return static_cast<double>(completed) / secs;
+}
+
+/// MulticastGather fan-outs across a 9-node universe (the grid quorum
+/// shape): one shared payload, 9 legs, 9 replies per gather.
+double MulticastFanouts(uint64_t gathers) {
+  dcp::sim::Simulator sim;
+  dcp::net::Network network(&sim, dcp::Rng(9),
+                            dcp::net::LatencyModel{1.0, 0.5});
+  EchoService svc;
+  std::vector<std::unique_ptr<dcp::net::RpcRuntime>> nodes;
+  for (dcp::NodeId n = 0; n < 9; ++n) {
+    nodes.push_back(std::make_unique<dcp::net::RpcRuntime>(&network, n));
+    nodes.back()->set_service(&svc);
+  }
+  dcp::NodeSet all = dcp::NodeSet::Universe(9);
+  uint64_t done = 0;
+  const Clock::time_point t0 = Clock::now();
+  for (uint64_t i = 0; i < gathers; ++i) {
+    dcp::net::MulticastGather(nodes[0].get(), all, "ping", nullptr,
+                              [&done](dcp::net::GatherResult) { ++done; });
+    sim.Run();
+  }
+  double secs = Seconds(t0, Clock::now());
+  if (done != gathers) return 0;
+  return static_cast<double>(gathers) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::string json_path = dcp::bench::MetricsJsonPathFromArgs(argc, argv);
+  const uint64_t kScale = quick ? 1 : 20;
+  const uint64_t kQueueIters = 40000 * kScale;
+  const uint64_t kCalls = 4000 * kScale;
+  const uint64_t kGathers = 500 * kScale;
+
+  dcp::bench::BenchJsonWriter json("sim_core");
+  std::printf("sim_core microbenchmarks%s\n\n", quick ? " (--quick)" : "");
+  std::printf("%-24s %14s %14s %9s\n", "workload", "heap ops/s", "map ops/s",
+              "speedup");
+
+  {
+    // Warm-up pass so neither queue pays first-touch costs in the
+    // measured run.
+    dcp::sim::Simulator warm;
+    ScheduleCancelMix(warm, kQueueIters / 10);
+
+    dcp::sim::Simulator heap_sim;
+    double heap_ops = ScheduleCancelMix(heap_sim, kQueueIters);
+    MapEventQueue map_q;
+    double map_ops = ScheduleCancelMix(map_q, kQueueIters);
+    double speedup = map_ops > 0 ? heap_ops / map_ops : 0;
+    std::printf("%-24s %14.0f %14.0f %8.2fx\n", "schedule_cancel", heap_ops,
+                map_ops, speedup);
+    json.Row("schedule_cancel");
+    json.Metric("ops_per_sec", heap_ops);
+    json.Metric("map_ops_per_sec", map_ops);
+    json.Metric("vs_map_speedup", speedup);
+  }
+  {
+    dcp::sim::Simulator heap_sim;
+    double heap_ops = ScheduleStepMix(heap_sim, kQueueIters);
+    MapEventQueue map_q;
+    double map_ops = ScheduleStepMix(map_q, kQueueIters);
+    double speedup = map_ops > 0 ? heap_ops / map_ops : 0;
+    std::printf("%-24s %14.0f %14.0f %8.2fx\n", "schedule_step", heap_ops,
+                map_ops, speedup);
+    json.Row("schedule_step");
+    json.Metric("ops_per_sec", heap_ops);
+    json.Metric("map_ops_per_sec", map_ops);
+    json.Metric("vs_map_speedup", speedup);
+  }
+  {
+    double calls_per_sec = RpcRoundTrips(kCalls);
+    std::printf("%-24s %14.0f %14s %9s\n", "rpc_roundtrip", calls_per_sec,
+                "-", "-");
+    json.Row("rpc_roundtrip");
+    json.Metric("calls_per_sec", calls_per_sec);
+  }
+  {
+    double gathers_per_sec = MulticastFanouts(kGathers);
+    std::printf("%-24s %14.0f %14s %9s\n", "multicast_fanout",
+                gathers_per_sec, "-", "-");
+    json.Row("multicast_fanout");
+    json.Metric("gathers_per_sec", gathers_per_sec);
+  }
+
+  if (!json_path.empty() && !json.WriteFile(json_path)) return 1;
+  return 0;
+}

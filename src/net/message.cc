@@ -1,0 +1,51 @@
+#include "net/message.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/flat_map.h"
+
+namespace dcp::net {
+
+namespace {
+
+// Node-based containers keep interned string addresses stable for the
+// process lifetime. Function-local statics avoid init-order issues.
+std::unordered_map<std::string_view, std::unique_ptr<const std::string>>&
+InternTable() {
+  static auto* table = new std::unordered_map<std::string_view,
+                                              std::unique_ptr<const std::string>>();
+  return *table;
+}
+
+FlatMap<const std::string*>& ReplyTable() {
+  static auto* table = new FlatMap<const std::string*>();
+  return *table;
+}
+
+}  // namespace
+
+const std::string* TypeName::Intern(std::string_view s) {
+  auto& table = InternTable();
+  auto it = table.find(s);
+  if (it != table.end()) return it->second.get();
+  auto owned = std::make_unique<const std::string>(s);
+  std::string_view key = *owned;  // Key views the stored string itself.
+  return table.emplace(key, std::move(owned)).first->second.get();
+}
+
+const std::string* TypeName::EmptyString() {
+  static const std::string* empty = Intern("");
+  return empty;
+}
+
+TypeName TypeName::Reply() const {
+  auto& replies = ReplyTable();
+  uint64_t k = key();
+  if (const std::string** cached = replies.Find(k)) return TypeName(*cached);
+  const std::string* reply = Intern(*s_ + ".reply");
+  replies.Insert(k, reply);
+  return TypeName(reply);
+}
+
+}  // namespace dcp::net

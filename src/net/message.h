@@ -5,11 +5,54 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "util/node_set.h"
 #include "util/status.h"
 
 namespace dcp::net {
+
+/// An interned message-type name. The wire format has a small, fixed
+/// vocabulary of request types ("lock", "2pc-prepare", ...), yet the
+/// pre-interning implementation copied the type string once per fan-out
+/// leg, once per Message, once per outstanding-call record and once per
+/// delivery closure — the dominant allocation source on the RPC hot
+/// path. A TypeName is a pointer into a process-wide intern table:
+/// copying is free, equality is pointer equality, and the pointer value
+/// doubles as a stable hash-map key for per-type traffic counters.
+///
+/// Interning happens on conversion from a string; passing `msg::k*`
+/// constants costs one short-string hash, no allocation after first use.
+/// The table only grows (types are a protocol vocabulary, not data) and,
+/// like the simulator it serves, it is single-threaded by design.
+class TypeName {
+ public:
+  TypeName() : s_(EmptyString()) {}
+  TypeName(std::string_view s) : s_(Intern(s)) {}       // NOLINT: implicit
+  TypeName(const char* s) : TypeName(std::string_view(s)) {}  // NOLINT
+  TypeName(const std::string& s) : TypeName(std::string_view(s)) {}  // NOLINT
+
+  const std::string& str() const { return *s_; }
+  operator const std::string&() const { return *s_; }  // NOLINT: implicit
+  bool empty() const { return s_->empty(); }
+
+  /// The interned "<type>.reply" name. Cached per type, so the per-reply
+  /// concatenation the RPC layer used to do is a single map probe.
+  TypeName Reply() const;
+
+  /// Stable, nonzero key for FlatMap indexing (the intern pointer).
+  uint64_t key() const { return reinterpret_cast<uintptr_t>(s_); }
+
+  friend bool operator==(TypeName a, TypeName b) { return a.s_ == b.s_; }
+  friend bool operator==(TypeName a, std::string_view b) { return *a.s_ == b; }
+
+ private:
+  explicit TypeName(const std::string* s) : s_(s) {}
+  static const std::string* Intern(std::string_view s);
+  static const std::string* EmptyString();
+
+  const std::string* s_;
+};
 
 /// Base class for all message payloads. Concrete request/response structs
 /// (defined by the protocol layers) derive from this; the network carries
@@ -49,7 +92,7 @@ struct Message {
   NodeId dst = kInvalidNode;
   uint64_t rpc_id = 0;
   Kind kind = Kind::kRequest;
-  std::string type;
+  TypeName type;
   PayloadPtr payload;
   Status status;  ///< Application status for responses.
 };

@@ -16,26 +16,25 @@ Network::Network(sim::Simulator* sim, Rng rng, LatencyModel latency)
   reordered_ = m.counter("net.reordered");
 }
 
-Network::TypeCounters& Network::ForType(const std::string& type) {
-  auto it = type_counters_.find(type);
-  if (it != type_counters_.end()) return it->second;
+Network::TypeCounters& Network::ForType(TypeName type) {
+  if (TypeCounters* found = type_counters_.Find(type.key())) return *found;
   obs::MetricsRegistry& m = sim_->metrics();
-  std::string prefix = "net.type." + type + ".";
+  std::string prefix = "net.type." + type.str() + ".";
   TypeCounters tc;
+  tc.type = type;
   tc.sent = m.counter(prefix + "sent");
   tc.delivered = m.counter(prefix + "delivered");
   tc.failed = m.counter(prefix + "failed");
   tc.dropped = m.counter(prefix + "dropped");
   tc.duplicated = m.counter(prefix + "duplicated");
-  return type_counters_.emplace(type, tc).first->second;
+  return type_counters_.Insert(type.key(), tc);
 }
 
 obs::Counter* Network::DeliveredTo(NodeId node) {
-  auto it = delivered_to_.find(node);
-  if (it != delivered_to_.end()) return it->second;
+  if (obs::Counter** found = delivered_to_.Find(node)) return *found;
   obs::Counter* c =
       sim_->metrics().counter("net.delivered_to." + std::to_string(node));
-  return delivered_to_.emplace(node, c).first->second;
+  return delivered_to_.Insert(node, c);
 }
 
 NetworkStats Network::stats() const {
@@ -46,63 +45,68 @@ NetworkStats Network::stats() const {
   s.total_dropped = dropped_->value();
   s.total_duplicated = duplicated_->value();
   s.total_reordered = reordered_->value();
-  for (const auto& [type, tc] : type_counters_) {
+  // The flat maps iterate in table order; the sorted result maps keep
+  // the reported snapshot canonical.
+  type_counters_.ForEach([&s](uint64_t, const TypeCounters& tc) {
     TypeStats ts;
     ts.sent = tc.sent->value();
     ts.delivered = tc.delivered->value();
     ts.failed = tc.failed->value();
     ts.dropped = tc.dropped->value();
     ts.duplicated = tc.duplicated->value();
-    if (!(ts == TypeStats{})) s.by_type.emplace(type, ts);
-  }
-  for (const auto& [node, c] : delivered_to_) {
-    if (c->value() != 0) s.delivered_to.emplace(node, c->value());
-  }
+    if (!(ts == TypeStats{})) s.by_type.emplace(tc.type.str(), ts);
+  });
+  delivered_to_.ForEach([&s](uint64_t node, obs::Counter* const& c) {
+    if (c->value() != 0) {
+      s.delivered_to.emplace(static_cast<NodeId>(node), c->value());
+    }
+  });
   return s;
 }
 
 void Network::ResetStats() { sim_->metrics().ResetPrefix("net."); }
 
 void Network::Register(NodeId node, MessageSink* sink) {
+  if (node >= sinks_.size()) {
+    sinks_.resize(node + 1, nullptr);
+    up_.resize(node + 1, 0);
+    partition_group_.resize(node + 1, 0);
+  }
   sinks_[node] = sink;
-  up_[node] = true;
+  up_[node] = 1;
   partition_group_[node] = 0;
 }
 
 void Network::SetNodeUp(NodeId node, bool up) {
-  auto it = up_.find(node);
-  assert(it != up_.end() && "unknown node");
-  it->second = up;
+  assert(node < sinks_.size() && sinks_[node] != nullptr && "unknown node");
+  up_[node] = up ? 1 : 0;
 }
 
 bool Network::IsUp(NodeId node) const {
-  auto it = up_.find(node);
-  return it != up_.end() && it->second;
+  return node < up_.size() && up_[node] != 0;
 }
 
 void Network::SetPartitions(const std::vector<NodeSet>& groups) {
-  for (auto& [node, group] : partition_group_) group = 0;
+  std::fill(partition_group_.begin(), partition_group_.end(), 0u);
   uint32_t gid = 1;
   for (const NodeSet& g : groups) {
     for (NodeId n : g) {
-      auto it = partition_group_.find(n);
-      if (it != partition_group_.end()) it->second = gid;
+      if (n < partition_group_.size()) partition_group_[n] = gid;
     }
     ++gid;
   }
 }
 
 void Network::HealPartitions() {
-  for (auto& [node, group] : partition_group_) group = 0;
+  std::fill(partition_group_.begin(), partition_group_.end(), 0u);
 }
 
 bool Network::SameGroup(NodeId a, NodeId b) const {
-  auto ita = partition_group_.find(a);
-  auto itb = partition_group_.find(b);
-  if (ita == partition_group_.end() || itb == partition_group_.end()) {
+  if (a >= sinks_.size() || b >= sinks_.size() || sinks_[a] == nullptr ||
+      sinks_[b] == nullptr) {
     return false;
   }
-  return ita->second == itb->second;
+  return partition_group_[a] == partition_group_[b];
 }
 
 bool Network::Reachable(NodeId a, NodeId b) const {
@@ -155,27 +159,28 @@ sim::Time Network::SampleLatency(const LatencyModel& model) {
 
 void Network::ScheduleDelivery(Message msg, sim::Time latency,
                                std::function<void()> on_failed) {
-  NodeId src = msg.src;
-  NodeId dst = msg.dst;
-  std::string type = msg.type;
-  sim_->Schedule(latency, [this, msg = std::move(msg), src, dst,
-                           type = std::move(type),
+  // The closure owns the message; addressing fields and the interned
+  // type are read from it in place (the pre-interning implementation
+  // copied the type string once per scheduled delivery).
+  sim_->Schedule(latency, [this, msg = std::move(msg),
                            on_failed = std::move(on_failed)]() mutable {
+    const NodeId src = msg.src;
+    const NodeId dst = msg.dst;
     // Delivery needs the destination alive and the link intact. The
     // *sender* crashing after the send does not recall the message —
     // it is already on the wire.
     if (IsUp(dst) && SameGroup(src, dst) && !LinkCut(src, dst)) {
       delivered_->Increment();
-      ForType(type).delivered->Increment();
+      ForType(msg.type).delivered->Increment();
       DeliveredTo(dst)->Increment();
-      auto it = sinks_.find(dst);
-      assert(it != sinks_.end());
-      it->second->Deliver(std::move(msg));
+      MessageSink* sink = sinks_[dst];
+      assert(sink != nullptr);
+      sink->Deliver(std::move(msg));
     } else {
       failed_->Increment();
-      ForType(type).failed->Increment();
+      ForType(msg.type).failed->Increment();
       sim_->tracer().Instant("net", "net.fail", src,
-                             {{"type", type},
+                             {{"type", msg.type},
                               {"dst", std::to_string(dst)}});
       // Notify the sender side (if it is still alive to care).
       if (on_failed && IsUp(src)) on_failed();

@@ -12,6 +12,7 @@
 
 #include "net/message.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 #include "util/node_set.h"
 #include "util/random.h"
 
@@ -184,13 +185,16 @@ class Network {
 
  private:
   /// Registry handles for one message type's counters, cached so the
-  /// send/deliver hot path never does a by-name registry lookup.
+  /// send/deliver hot path never does a by-name registry lookup. Keyed
+  /// by the interned TypeName pointer: a type's counters are one flat
+  /// hash probe away, with no string hashing or comparisons.
   struct TypeCounters {
-    obs::Counter* sent;
-    obs::Counter* delivered;
-    obs::Counter* failed;
-    obs::Counter* dropped;
-    obs::Counter* duplicated;
+    TypeName type;  ///< For stats() reporting.
+    obs::Counter* sent = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* duplicated = nullptr;
   };
 
   sim::Time SampleLatency(const LatencyModel& model);
@@ -200,7 +204,7 @@ class Network {
   void EnsureFaultRng();
   void ScheduleDelivery(Message msg, sim::Time latency,
                         std::function<void()> on_failed);
-  TypeCounters& ForType(const std::string& type);
+  TypeCounters& ForType(TypeName type);
   obs::Counter* DeliveredTo(NodeId node);
 
   sim::Simulator* sim_;
@@ -210,9 +214,13 @@ class Network {
   LatencyModel latency_;
   FaultModel fault_model_;
   std::set<std::pair<NodeId, NodeId>> cut_links_;
-  std::map<NodeId, MessageSink*> sinks_;
-  std::map<NodeId, bool> up_;
-  std::map<NodeId, uint32_t> partition_group_;
+  // Per-node state, indexed by NodeId (node ids are dense small
+  // integers): every delivery checks up/partition/sink, so these are
+  // flat vectors rather than maps. sinks_[n] == nullptr marks an
+  // unregistered id.
+  std::vector<MessageSink*> sinks_;
+  std::vector<uint8_t> up_;
+  std::vector<uint32_t> partition_group_;
 
   // Traffic accounting lives in the simulator's metrics registry
   // ("net.*"); these are cached handles. One Network per Simulator —
@@ -223,8 +231,8 @@ class Network {
   obs::Counter* dropped_;
   obs::Counter* duplicated_;
   obs::Counter* reordered_;
-  std::map<std::string, TypeCounters> type_counters_;
-  std::map<NodeId, obs::Counter*> delivered_to_;
+  FlatMap<TypeCounters> type_counters_;   ///< Keyed by TypeName::key().
+  FlatMap<obs::Counter*> delivered_to_;   ///< Keyed by NodeId.
 };
 
 }  // namespace dcp::net

@@ -1,6 +1,8 @@
 #include "net/rpc.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 namespace dcp::net {
 
@@ -13,10 +15,12 @@ RpcRuntime::RpcRuntime(Network* network, NodeId self, sim::Time timeout)
   app_errors_ = m.counter("rpc.app_errors");
   call_failed_ = m.counter("rpc.call_failed");
   timeouts_ = m.counter("rpc.timeouts");
+  dup_requests_ = m.counter("rpc.dup_requests");
   latency_ = m.histogram("rpc.latency");
+  outstanding_.Reserve(32);
 }
 
-void RpcRuntime::Call(NodeId dst, std::string type, PayloadPtr request,
+void RpcRuntime::Call(NodeId dst, TypeName type, PayloadPtr request,
                       RpcCallback cb) {
   uint64_t id = next_rpc_id_++;
   calls_->Increment();
@@ -30,7 +34,7 @@ void RpcRuntime::Call(NodeId dst, std::string type, PayloadPtr request,
   msg.payload = std::move(request);
 
   sim::Simulator* sim = network_->simulator();
-  sim->tracer().BeginSpan("rpc", type, self_, SpanId(id),
+  sim->tracer().BeginSpan("rpc", type.str(), self_, SpanId(id),
                           {{"dst", std::to_string(dst)}});
 
   sim::EventId timer = sim->Schedule(timeout_, [this, id] {
@@ -38,8 +42,8 @@ void RpcRuntime::Call(NodeId dst, std::string type, PayloadPtr request,
     Complete(id, RpcResult::CallFailed(
                      Status::TimedOut("rpc timeout; treating as CallFailed")));
   });
-  outstanding_[id] =
-      Outstanding{std::move(cb), timer, sim->Now(), dst, std::move(type)};
+  outstanding_.Insert(
+      id, Outstanding{std::move(cb), timer, sim->Now(), dst, type});
 
   network_->Send(std::move(msg), [this, id] {
     Complete(id, RpcResult::CallFailed(
@@ -49,21 +53,42 @@ void RpcRuntime::Call(NodeId dst, std::string type, PayloadPtr request,
 
 void RpcRuntime::AbortAll() {
   obs::EventTracer& tracer = network_->simulator()->tracer();
-  for (auto& [id, out] : outstanding_) {
+  // The flat map iterates in table order; abandon spans in rpc-id order
+  // so crash traces stay identical to the ordered-map implementation.
+  std::vector<uint64_t> ids;
+  ids.reserve(outstanding_.size());
+  outstanding_.ForEach([&ids](uint64_t id, Outstanding&) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t id : ids) {
+    Outstanding& out = *outstanding_.Find(id);
     network_->simulator()->Cancel(out.timeout_event);
-    tracer.EndSpan("rpc", out.type, self_, SpanId(id),
+    tracer.EndSpan("rpc", out.type.str(), self_, SpanId(id),
                    {{"outcome", "abandoned"}});
   }
-  outstanding_.clear();
+  outstanding_.Clear();
+  // The reply cache is volatile server-side state: a crashed-and-
+  // recovered node has genuinely forgotten what it answered.
+  reply_cache_.Clear();
+  reply_cache_order_.clear();
+}
+
+void RpcRuntime::RememberReply(uint64_t key, const Message& reply) {
+  if (reply_cache_order_.size() >= kReplyCacheCapacity) {
+    reply_cache_.Erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+  reply_cache_.Insert(key,
+                      CachedReply{reply.type, reply.payload, reply.status});
+  reply_cache_order_.push_back(key);
 }
 
 void RpcRuntime::Complete(uint64_t rpc_id, RpcResult result) {
-  auto it = outstanding_.find(rpc_id);
-  if (it == outstanding_.end()) return;  // Already completed or aborted.
+  Outstanding* out = outstanding_.Find(rpc_id);
+  if (out == nullptr) return;  // Already completed or aborted.
   sim::Simulator* sim = network_->simulator();
-  RpcCallback cb = std::move(it->second.cb);
-  sim->Cancel(it->second.timeout_event);
-  latency_->Observe(sim->Now() - it->second.started);
+  RpcCallback cb = std::move(out->cb);
+  sim->Cancel(out->timeout_event);
+  latency_->Observe(sim->Now() - out->started);
 
   const char* outcome;
   if (result.ok()) {
@@ -78,9 +103,9 @@ void RpcRuntime::Complete(uint64_t rpc_id, RpcResult result) {
     app_errors_->Increment();
     outcome = "app_error";
   }
-  sim->tracer().EndSpan("rpc", it->second.type, self_, SpanId(rpc_id),
+  sim->tracer().EndSpan("rpc", out->type.str(), self_, SpanId(rpc_id),
                         {{"outcome", outcome}});
-  outstanding_.erase(it);
+  outstanding_.Erase(rpc_id);
   // A crashed caller never observes completions.
   if (!network_->IsUp(self_)) return;
   cb(std::move(result));
@@ -91,6 +116,23 @@ void RpcRuntime::Deliver(Message msg) {
   switch (msg.kind) {
     case Message::Kind::kRequest: {
       assert(service_ != nullptr && "node has no RpcService installed");
+      const uint64_t dedup_key = DedupKey(msg.src, msg.rpc_id);
+      if (const CachedReply* cached = reply_cache_.Find(dedup_key)) {
+        // A duplicate delivery of a request we already answered (fault-
+        // model duplication). Re-executing the handler would double-apply
+        // its side effects; resend the remembered reply instead.
+        dup_requests_->Increment();
+        Message reply;
+        reply.src = self_;
+        reply.dst = msg.src;
+        reply.rpc_id = msg.rpc_id;
+        reply.kind = Message::Kind::kResponse;
+        reply.type = cached->type;
+        reply.payload = cached->payload;
+        reply.status = cached->status;
+        network_->Send(std::move(reply));
+        break;
+      }
       Result<PayloadPtr> result =
           service_->HandleRequest(msg.src, msg.type, msg.payload);
 
@@ -99,12 +141,13 @@ void RpcRuntime::Deliver(Message msg) {
       reply.dst = msg.src;
       reply.rpc_id = msg.rpc_id;
       reply.kind = Message::Kind::kResponse;
-      reply.type = msg.type + ".reply";
+      reply.type = msg.type.Reply();
       if (result.ok()) {
         reply.payload = std::move(result).value();
       } else {
         reply.status = result.status();
       }
+      RememberReply(dedup_key, reply);
       // Lost replies surface at the caller via its timeout.
       network_->Send(std::move(reply));
       break;
@@ -151,7 +194,7 @@ struct GatherState {
 }  // namespace
 
 void MulticastGather(RpcRuntime* runtime, const NodeSet& targets,
-                     std::string type, PayloadPtr request,
+                     TypeName type, PayloadPtr request,
                      std::function<void(GatherResult)> done) {
   auto state = std::make_shared<GatherState>();
   state->expected = targets.Size();

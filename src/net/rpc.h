@@ -2,6 +2,7 @@
 #define DCP_NET_RPC_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 #include "util/node_set.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -79,7 +81,7 @@ class RpcRuntime : public MessageSink {
   /// Issues an RPC. `cb` fires exactly once — with a response, an
   /// application error, or a transport CallFailed — unless this node
   /// crashes first (crash abandons all outstanding calls; see AbortAll).
-  void Call(NodeId dst, std::string type, PayloadPtr request, RpcCallback cb);
+  void Call(NodeId dst, TypeName type, PayloadPtr request, RpcCallback cb);
 
   /// Abandons every outstanding call without invoking callbacks. Invoked
   /// by the cluster harness when this node crashes: a fail-stop node's
@@ -95,10 +97,23 @@ class RpcRuntime : public MessageSink {
     sim::EventId timeout_event;
     sim::Time started = 0;  ///< Issue time, for the rpc.latency histogram.
     NodeId dst = 0;
-    std::string type;  ///< Request type; names the trace span.
+    TypeName type;  ///< Request type; names the trace span.
+  };
+
+  /// One remembered outbound reply, for duplicate-request suppression.
+  struct CachedReply {
+    TypeName type;  ///< Already the ".reply" name.
+    PayloadPtr payload;
+    Status status;
   };
 
   void Complete(uint64_t rpc_id, RpcResult result);
+  /// Dedup key for an incoming request: rpc ids are per-caller counters,
+  /// so the caller id disambiguates ids from different nodes.
+  static uint64_t DedupKey(NodeId src, uint64_t rpc_id) {
+    return (static_cast<uint64_t>(src) << 44) | rpc_id;
+  }
+  void RememberReply(uint64_t key, const Message& reply);
   /// Trace-span correlation id: rpc ids are per-runtime, so the caller id
   /// is folded in to keep concurrent nodes' spans distinct.
   uint64_t SpanId(uint64_t rpc_id) const {
@@ -110,7 +125,19 @@ class RpcRuntime : public MessageSink {
   sim::Time timeout_;
   RpcService* service_ = nullptr;
   uint64_t next_rpc_id_ = 1;
-  std::map<uint64_t, Outstanding> outstanding_;
+  /// rpc_id -> in-flight call state. Flat-hashed: Call/Complete are the
+  /// hottest per-message operations, and rpc ids are dense integers.
+  FlatMap<Outstanding> outstanding_;
+
+  /// (src, rpc_id) -> the reply this node already sent. A network-level
+  /// duplicate of a request must NOT re-execute the handler — handlers
+  /// are not idempotent (a second lock.acquire for a lock this caller
+  /// already holds answers Conflict) — so duplicates resend the
+  /// remembered reply instead. Bounded FIFO; cleared on crash, like all
+  /// volatile node state.
+  static constexpr size_t kReplyCacheCapacity = 1024;
+  FlatMap<CachedReply> reply_cache_;
+  std::deque<uint64_t> reply_cache_order_;
 
   // Registry handles ("rpc.*"). Shared across all nodes' runtimes on one
   // simulator: the registry hands back the same counter for the same name,
@@ -120,6 +147,7 @@ class RpcRuntime : public MessageSink {
   obs::Counter* app_errors_;
   obs::Counter* call_failed_;
   obs::Counter* timeouts_;
+  obs::Counter* dup_requests_;
   obs::Histogram* latency_;
 };
 
@@ -135,9 +163,11 @@ struct GatherResult {
 
 /// Multicasts `request` to every node in `targets` (per Section 4: no
 /// network multicast facility is assumed — this is a loop of sends) and
-/// invokes `done` once every target has a terminal outcome.
+/// invokes `done` once every target has a terminal outcome. The payload
+/// and the interned type name are shared across all fan-out legs; each
+/// leg costs no string traffic.
 void MulticastGather(RpcRuntime* runtime, const NodeSet& targets,
-                     std::string type, PayloadPtr request,
+                     TypeName type, PayloadPtr request,
                      std::function<void(GatherResult)> done);
 
 }  // namespace dcp::net

@@ -140,12 +140,14 @@ Result<WriteOutcome> Cluster::WriteSyncRetry(NodeId coordinator,
                                              storage::ObjectId object,
                                              Update update,
                                              int max_attempts) {
+  const RetryPolicy& policy = options_.retry_policy;
   Result<WriteOutcome> last = Status::Internal("no attempts made");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     last = WriteSync(coordinator, object, update);
-    if (last.ok() || !last.status().IsConflict()) return last;
-    // Randomized backoff breaks symmetric lock contention.
-    RunFor(5.0 + rng_.NextDouble() * 20.0);
+    if (last.ok() || !policy.ShouldRetry(last.status())) return last;
+    // Randomized backoff breaks symmetric lock contention and rides out
+    // transient unavailability (when the policy opts in).
+    RunFor(policy.backoff_base + rng_.NextDouble() * policy.backoff_jitter);
   }
   return last;
 }
@@ -153,11 +155,12 @@ Result<WriteOutcome> Cluster::WriteSyncRetry(NodeId coordinator,
 Result<ReadOutcome> Cluster::ReadSyncRetry(NodeId coordinator,
                                            storage::ObjectId object,
                                            int max_attempts) {
+  const RetryPolicy& policy = options_.retry_policy;
   Result<ReadOutcome> last = Status::Internal("no attempts made");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     last = ReadSync(coordinator, object);
-    if (last.ok() || !last.status().IsConflict()) return last;
-    RunFor(5.0 + rng_.NextDouble() * 20.0);
+    if (last.ok() || !policy.ShouldRetry(last.status())) return last;
+    RunFor(policy.backoff_base + rng_.NextDouble() * policy.backoff_jitter);
   }
   return last;
 }

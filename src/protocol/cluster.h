@@ -33,6 +33,25 @@ enum class CoterieKind {
 /// Constructs a coterie rule instance by kind (caller owns it).
 std::unique_ptr<coterie::CoterieRule> MakeCoterieRule(CoterieKind kind);
 
+/// Client-side retry behavior for the *SyncRetry wrappers. The defaults
+/// reproduce the historical behavior exactly (identical RNG draws, so
+/// same-seed runs are unchanged): lock conflicts retry with randomized
+/// backoff, everything else is terminal. kUnavailable is in reality just
+/// as transient as kConflict — a quorum missing *now* (node rebooting,
+/// partition healing) is routinely present a few backoffs later — so
+/// clients that want to ride out faults set retry_unavailable.
+struct RetryPolicy {
+  bool retry_conflict = true;      ///< Retry StatusCode::kConflict.
+  bool retry_unavailable = false;  ///< Retry StatusCode::kUnavailable.
+  sim::Time backoff_base = 5.0;
+  sim::Time backoff_jitter = 20.0;  ///< Uniform extra backoff in [0, jitter).
+
+  bool ShouldRetry(const Status& s) const {
+    return (s.IsConflict() && retry_conflict) ||
+           (s.IsUnavailable() && retry_unavailable);
+  }
+};
+
 struct ClusterOptions {
   uint32_t num_nodes = 9;
   /// Data items in the replica group. All share one epoch; epoch checks
@@ -48,6 +67,8 @@ struct ClusterOptions {
   std::vector<uint8_t> initial_value;  ///< Shared by all objects.
   ReplicaNodeOptions node_options;
   WriteOptions write_options;
+  /// Governs WriteSyncRetry / ReadSyncRetry.
+  RetryPolicy retry_policy;
 
   /// Start the background epoch-check/election daemons on every node.
   bool start_epoch_daemons = false;

@@ -3,9 +3,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <unordered_map>
-#include <utility>
+#include <memory>
+#include <vector>
 
 #include "obs/observability.h"
 
@@ -16,8 +15,11 @@ namespace dcp::sim {
 using Time = double;
 
 /// Opaque handle identifying a scheduled event, usable to cancel it.
+/// `seq` is the event's insertion sequence number (the generation tag);
+/// `slot` locates its storage so Cancel never searches.
 struct EventId {
   uint64_t seq = 0;
+  uint32_t slot = 0;
   bool valid() const { return seq != 0; }
 };
 
@@ -27,6 +29,16 @@ struct EventId {
 /// execute in scheduling order, which keeps runs fully deterministic. The
 /// kernel is single-threaded by design: concurrency in the simulated
 /// distributed system comes from interleaving events, not OS threads.
+///
+/// The queue is a 4-ary min-heap over (time, seq) with lazy cancellation:
+/// Cancel is O(1) — it retires the event's storage slot (freeing the
+/// closure immediately) and leaves a tombstone entry in the heap, which
+/// Step/RunUntil discard when they surface. A slot's `seq` acts as its
+/// generation tag: a heap entry is live iff its seq still matches the
+/// slot's, so slots recycle safely while stale entries drain. Because the
+/// (time, seq) order is a strict total order and tombstones are invisible
+/// to execution, lazy cancellation cannot reorder anything — same-seed
+/// runs are byte-identical to the eager-erase implementation.
 class Simulator {
  public:
   Simulator();
@@ -51,7 +63,8 @@ class Simulator {
   EventId ScheduleAt(Time when, std::function<void()> fn);
 
   /// Cancels a pending event. Returns false if it already ran or was
-  /// cancelled.
+  /// cancelled. O(1): the closure is released immediately; the queue
+  /// entry is discarded lazily.
   bool Cancel(EventId id);
 
   /// Runs a single event. Returns false if the queue is empty.
@@ -67,25 +80,53 @@ class Simulator {
   /// Number of events executed so far.
   uint64_t events_executed() const { return events_executed_; }
 
-  /// Number of pending events.
-  size_t pending() const { return queue_.size(); }
+  /// Number of pending (live, uncancelled) events.
+  size_t pending() const { return live_; }
 
  private:
-  struct Key {
+  /// Heap order key plus the slot holding the closure. 24 bytes — cheap
+  /// to swap during sifts; the std::function stays put in its slot.
+  struct HeapEntry {
     Time when;
     uint64_t seq;
-    bool operator<(const Key& o) const {
-      if (when != o.when) return when < o.when;
-      return seq < o.seq;
-    }
+    uint32_t slot;
   };
+
+  /// Event storage. `seq == 0` marks the slot free (or, equivalently,
+  /// any heap entry pointing here with a different seq as a tombstone).
+  struct Slot {
+    uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  static constexpr size_t kArity = 4;
+
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  bool EntryDead(const HeapEntry& e) const {
+    return slots_[e.slot].seq != e.seq;
+  }
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void PopTop();
+  /// Discards tombstones at the top; returns the live minimum, or
+  /// nullptr when no live event remains.
+  const HeapEntry* PeekLive();
+  /// Rebuilds the heap without tombstones once they dominate, bounding
+  /// memory in cancel-heavy workloads (e.g. RPC timeout timers that are
+  /// almost always cancelled by the reply).
+  void MaybeCompact();
 
   Time now_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
-  std::map<Key, std::function<void()>> queue_;
-  // seq -> scheduled time, so Cancel can reconstruct the map key.
-  std::unordered_map<uint64_t, Time> index_;
+  size_t live_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 
   obs::Observability obs_;
   // Kernel self-metrics, cached at construction (registry handles are
@@ -97,6 +138,10 @@ class Simulator {
 
 /// Re-arms itself on a fixed period until stopped. Used for the paper's
 /// "steady pulse of epoch checking operations" (Section 4.3).
+///
+/// The callback may Stop() — or even destroy — the task: the scheduled
+/// closure owns the task state via a shared_ptr and never touches `this`,
+/// so nothing dangles when `fn` tears the task down mid-fire.
 class PeriodicTask {
  public:
   /// Starts firing `fn` every `period`, first at `Now() + initial_delay`.
@@ -107,16 +152,20 @@ class PeriodicTask {
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   void Stop();
-  bool running() const { return running_; }
+  bool running() const { return state_->running; }
 
  private:
-  void Arm(Time delay);
+  struct State {
+    Simulator* sim;
+    Time period;
+    std::function<void()> fn;
+    EventId pending{};
+    bool running = true;
+  };
 
-  Simulator* sim_;
-  Time period_;
-  std::function<void()> fn_;
-  EventId pending_{};
-  bool running_ = true;
+  static void Arm(const std::shared_ptr<State>& state, Time delay);
+
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace dcp::sim

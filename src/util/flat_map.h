@@ -1,0 +1,172 @@
+#ifndef DCP_UTIL_FLAT_MAP_H_
+#define DCP_UTIL_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dcp {
+
+/// Open-addressing hash map from uint64_t keys to T, tuned for the
+/// simulator's hot paths (RPC outstanding-call tables, per-type traffic
+/// counters, reply caches): a single flat slot array, linear probing,
+/// backward-shift deletion (no tombstones), power-of-two capacity.
+///
+/// Compared to std::map / std::unordered_map this does no per-entry
+/// allocation and touches one cache line for the common hit, at the cost
+/// of generality: keys are integers, pointers stay valid only until the
+/// next Insert (rehash), and iteration (ForEach) walks table order — an
+/// order that is deterministic for a deterministic key sequence but is
+/// NOT sorted, so callers that need a canonical order must sort.
+template <typename T>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Ensures capacity for `n` entries without rehashing.
+  void Reserve(size_t n) {
+    size_t needed = NormalizeCapacity(n);
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// Returns the value for `key`, or nullptr. Never allocates.
+  T* Find(uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    for (size_t i = IndexFor(key);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.value;
+    }
+  }
+  const T* Find(uint64_t key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+
+  /// Inserts (or overwrites) and returns the stored value. The reference
+  /// is valid until the next Insert/Erase.
+  T& Insert(uint64_t key, T value) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    for (size_t i = IndexFor(key);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        s.value = std::move(value);
+        ++size_;
+        return s.value;
+      }
+      if (s.key == key) {
+        s.value = std::move(value);
+        return s.value;
+      }
+    }
+  }
+
+  /// Find-or-default-construct, by analogy with operator[].
+  T& At(uint64_t key) {
+    if (T* found = Find(key)) return *found;
+    return Insert(key, T{});
+  }
+
+  /// Removes `key`. Returns false if absent. Backward-shift deletion
+  /// keeps probe chains intact without tombstones.
+  bool Erase(uint64_t key) {
+    if (slots_.empty()) return false;
+    size_t i = IndexFor(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (!s.used) return false;
+      if (s.key == key) break;
+      i = (i + 1) & mask_;
+    }
+    size_t hole = i;
+    for (size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      Slot& s = slots_[j];
+      if (!s.used) break;
+      size_t ideal = IndexFor(s.key);
+      // s may fill the hole iff the hole lies within s's probe chain.
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = std::move(s);
+        hole = j;
+      }
+    }
+    slots_[hole].used = false;
+    slots_[hole].value = T{};  // Release resources now.
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    for (Slot& s : slots_) {
+      s.used = false;
+      s.value = T{};
+    }
+    size_ = 0;
+  }
+
+  /// Visits every (key, value&) in table order. Do not mutate the map
+  /// from inside `fn`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    T value{};
+    bool used = false;
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  static size_t NormalizeCapacity(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap *= 2;  // Keep load factor <= 0.75.
+    return cap;
+  }
+
+  /// splitmix64 finalizer: cheap, and good enough to scatter sequential
+  /// rpc ids and pointer-derived keys.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  size_t IndexFor(uint64_t key) const { return Mix(key) & mask_; }
+
+  void Rehash(size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.used) Insert(s.key, std::move(s.value));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_UTIL_FLAT_MAP_H_

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/fault_injector.h"
@@ -157,6 +159,38 @@ TEST(Determinism, NemesisIdenticalSeedsIdenticalRuns) {
   // The run must actually have exercised the fault machinery.
   EXPECT_GT(a.network_stats.total_dropped, 0u);
   EXPECT_FALSE(a.fault_descriptions.empty());
+}
+
+/// Serializes a fingerprint to bytes, with doubles in hexfloat so two
+/// values compare equal iff they are bit-identical — a byte-level
+/// contract rather than EXPECT_EQ's member-wise one.
+std::string FingerprintBytes(const NemesisFingerprint& fp) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  const net::NetworkStats& ns = fp.network_stats;
+  os << ns.total_sent << '|' << ns.total_delivered << '|' << ns.total_failed
+     << '|' << ns.total_dropped << '|' << ns.total_duplicated << '|'
+     << ns.total_reordered << '\n';
+  for (const auto& [type, ts] : ns.by_type) {
+    os << type << ':' << ts.sent << ',' << ts.delivered << ',' << ts.failed
+       << ',' << ts.dropped << ',' << ts.duplicated << '\n';
+  }
+  for (const auto& [node, n] : ns.delivered_to) os << node << '=' << n << '\n';
+  for (double t : fp.fault_times) os << t << '\n';
+  for (const std::string& d : fp.fault_descriptions) os << d << '\n';
+  for (storage::Version v : fp.write_versions) os << v << '\n';
+  for (double t : fp.write_times) os << t << '\n';
+  os << fp.events_executed << '|' << fp.churn_failures << '\n';
+  return std::move(os).str();
+}
+
+TEST(Determinism, NemesisFingerprintBytesAreIdentical) {
+  std::string a = FingerprintBytes(RunNemesisOnce(909));
+  std::string b = FingerprintBytes(RunNemesisOnce(909));
+  ASSERT_FALSE(a.empty());
+  EXPECT_TRUE(a == b) << "same-seed fingerprints differ:\n"
+                      << a << "---- vs ----\n"
+                      << b;
 }
 
 TEST(Determinism, NemesisDifferentSeedsDiverge) {

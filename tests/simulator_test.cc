@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 namespace dcp::sim {
@@ -110,6 +112,84 @@ TEST(PeriodicTask, DestructorCancels) {
   }
   sim.RunUntil(100.0);
   EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, DestroyedInsideOwnCallbackIsSafe) {
+  // Regression: the rearm closure used to read the task object after
+  // running fn(), so a callback that destroys its own task was a
+  // use-after-free (the ASan lane catches the old code). The closure now
+  // shares ownership of the task state instead of touching the object.
+  Simulator sim;
+  int count = 0;
+  std::unique_ptr<PeriodicTask> task;
+  task = std::make_unique<PeriodicTask>(&sim, 1.0, 1.0, [&] {
+    ++count;
+    task.reset();
+  });
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(task, nullptr);
+}
+
+TEST(Simulator, TiesInterleavedWithCancelsKeepSchedulingOrder) {
+  // Lazy cancellation must not disturb the (time, seq) contract: events
+  // at one timestamp run in scheduling order even when tombstones from
+  // cancelled neighbours sit between them in the heap.
+  Simulator sim;
+  std::vector<int> ran;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.Schedule(5.0, [&ran, i] { ran.push_back(i); }));
+  }
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(sim.Cancel(ids[i]));
+  sim.Run();
+  ASSERT_EQ(ran.size(), 50u);
+  for (size_t j = 0; j < ran.size(); ++j) {
+    EXPECT_EQ(ran[j], static_cast<int>(2 * j + 1));
+  }
+}
+
+TEST(Simulator, CancelHeavyWorkloadStaysCorrect) {
+  // Mimics the RPC timeout pattern (nearly every scheduled event is
+  // cancelled before it fires) at a size that forces heap compaction and
+  // slot recycling, and checks the survivors still run in time order.
+  Simulator sim;
+  std::vector<double> fired_at;
+  uint64_t kept = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 500; ++i) {
+      double when = ((i * 7919) % 1000) / 10.0 + round;
+      ids.push_back(
+          sim.Schedule(when, [&fired_at, &sim] { fired_at.push_back(sim.Now()); }));
+    }
+    for (int i = 0; i < 500; ++i) {
+      if (i % 50 != 0) {
+        EXPECT_TRUE(sim.Cancel(ids[i]));
+      }
+    }
+    kept += 10;
+  }
+  EXPECT_EQ(sim.pending(), kept);
+  sim.Run();
+  EXPECT_EQ(fired_at.size(), kept);
+  EXPECT_TRUE(std::is_sorted(fired_at.begin(), fired_at.end()));
+  EXPECT_EQ(sim.events_executed(), kept);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelledEventIdsDoNotAliasRecycledSlots) {
+  // A stale EventId whose slot has been recycled for a newer event must
+  // not cancel that newer event (the generation tag catches it).
+  Simulator sim;
+  int ran = 0;
+  EventId stale = sim.Schedule(1.0, [] {});
+  EXPECT_TRUE(sim.Cancel(stale));
+  EventId fresh = sim.Schedule(2.0, [&ran] { ++ran; });
+  EXPECT_FALSE(sim.Cancel(stale));  // Dead id, possibly same slot.
+  sim.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(sim.Cancel(fresh));  // Already executed.
 }
 
 }  // namespace

@@ -137,8 +137,10 @@ TEST(TraceIntegration, WriteSpanNestsTwoPhaseCommit) {
   EXPECT_LT(lock_b, prep_b);
 }
 
-// Trace fingerprint of a nemesis run with tracing enabled.
-std::vector<TraceEvent> TracedNemesisRun(uint64_t seed) {
+// Trace fingerprint of a nemesis run with tracing enabled. When `json`
+// is given, it receives the full serialized Chrome trace document.
+std::vector<TraceEvent> TracedNemesisRun(uint64_t seed,
+                                         std::string* json = nullptr) {
   protocol::ClusterOptions opts;
   opts.num_nodes = 9;
   opts.coterie = protocol::CoterieKind::kGrid;
@@ -162,6 +164,7 @@ std::vector<TraceEvent> TracedNemesisRun(uint64_t seed) {
   cluster.RunFor(8000);
   workload.Stop();
   nemesis.Stop();
+  if (json != nullptr) *json = cluster.tracer().ToChromeTraceJson();
   return cluster.tracer().events();
 }
 
@@ -174,6 +177,21 @@ std::vector<TraceEvent> FilterCats(const std::vector<TraceEvent>& events,
     }
   }
   return out;
+}
+
+TEST(TraceIntegration, NemesisChromeTraceJsonIsByteIdentical) {
+  // Stronger than event-vector equality: the *serialized document* —
+  // every float format decision, every argument order — must come out
+  // byte-for-byte identical for the same seed. This is the contract the
+  // event-queue's lazy cancellation must preserve: tombstone pops may
+  // never perturb execution order or counters.
+  std::string a, b;
+  TracedNemesisRun(4242, &a);
+  TracedNemesisRun(4242, &b);
+  ASSERT_GT(a.size(), 100000u);  // The run must produce a real trace.
+  // On mismatch, report sizes rather than dumping two multi-MB strings.
+  EXPECT_TRUE(a == b) << "same-seed trace documents differ: " << a.size()
+                      << " vs " << b.size() << " bytes";
 }
 
 TEST(TraceIntegration, NemesisTraceIsDeterministicAndValid) {
