@@ -10,9 +10,18 @@
 // one-way link cut, driven through the cluster's nemesis knobs. Writes
 // ride out the chaos on retries, and the invariants still hold.
 //
-//   ./build/examples/partition_demo
+// With --durability the demo instead runs the storage-engine act: every
+// node gets a simulated disk + write-ahead log, a coordinator is crashed
+// mid-2PC (after staging, before the outcome is decided), and recovery
+// replays the log — committed versions come back from redo records, the
+// in-doubt staged transaction comes back locked, and cooperative
+// termination with the surviving peers resolves it.
+//
+//   ./build/examples/partition_demo [--durability]
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <vector>
 
 #include "protocol/cluster.h"
@@ -30,11 +39,118 @@ void PrintEpochs(dcp::protocol::Cluster& cluster) {
   }
 }
 
-}  // namespace
-
-int main() {
+int DurabilityAct() {
   using namespace dcp;
   using namespace dcp::protocol;
+
+  ClusterOptions options;
+  options.num_nodes = 5;
+  options.coterie = CoterieKind::kMajority;
+  options.seed = 7;
+  options.initial_value = {'v', '0'};
+  options.durability.enabled = true;
+  Cluster cluster(options);
+
+  std::printf("5 nodes, majority coterie, durability ON: each node logs to "
+              "a WAL\non a simulated disk and acks only after fsync\n\n");
+
+  for (int i = 1; i <= 2; ++i) {
+    auto w = cluster.WriteSyncRetry(
+        0, Update::Partial(1, {static_cast<uint8_t>('0' + i)}));
+    std::printf("write %d: %s (v%llu)\n", i,
+                w.ok() ? "committed" : w.status().ToString().c_str(),
+                w.ok() ? static_cast<unsigned long long>(w->version) : 0ULL);
+  }
+  std::printf("WAL records so far (cluster-wide): %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.metrics().counter("wal.records")->value()));
+
+  // An in-flight write coordinated by node 0. A poller crashes node 0
+  // the moment its own staged record exists: mid-2PC, after the prepare
+  // is durable but before any outcome is decided — the classic in-doubt
+  // window.
+  std::printf("\n== write from node 0; crash the coordinator mid-2PC ==\n");
+  bool acked = false;
+  cluster.Write(0, Update::Partial(0, {'X'}),
+                [&](Result<WriteOutcome>) { acked = true; });
+  std::function<void()> maybe_crash = [&] {
+    auto& wal = cluster.node(0).durable_store()->wal();
+    // Staged AND fully synced: the prepare's redo record survived the
+    // platter, so recovery below must find the in-doubt transaction.
+    if (cluster.node(0).has_staged_transaction() &&
+        wal.durable_end_lsn() == wal.end_lsn()) {
+      std::printf("t=%.2f: node 0 has a durable staged action -> CRASH\n",
+                  cluster.simulator().Now());
+      cluster.Crash(0);
+      return;
+    }
+    cluster.simulator().Schedule(0.25, maybe_crash);
+  };
+  cluster.simulator().Schedule(0.25, maybe_crash);
+  cluster.RunFor(500);
+  std::printf("coordinator ack ever delivered: %s (died with the node)\n",
+              acked ? "yes (unexpected)" : "no");
+
+  std::printf("\n== recovering node 0 from its disk ==\n");
+  cluster.Recover(0);
+  const auto& rec = cluster.node(0).durable_store()->last_recovery();
+  const auto& store = cluster.node(0).store();
+  std::printf("replayed %llu redo records (%s checkpoint, %llu torn bytes "
+              "trimmed)\n",
+              static_cast<unsigned long long>(rec.replayed_records),
+              rec.from_checkpoint ? "from" : "no",
+              static_cast<unsigned long long>(rec.torn_bytes));
+  std::printf("state after replay: v%llu%s, in-doubt staged txn: %s "
+              "(footprint re-locked)\n",
+              static_cast<unsigned long long>(store.version()),
+              store.stale() ? " STALE" : "",
+              cluster.node(0).has_staged_transaction() ? "yes" : "no");
+
+  // Cooperative termination with the surviving peers resolves the
+  // in-doubt transaction; then the cluster is fully writable again.
+  cluster.RunFor(3000);
+  std::printf("\nafter termination: v%llu, staged txn pending: %s\n",
+              static_cast<unsigned long long>(
+                  cluster.node(0).store().version()),
+              cluster.node(0).has_staged_transaction() ? "yes" : "no");
+
+  auto w = cluster.WriteSyncRetry(0, Update::Partial(1, {'z'}));
+  auto r = cluster.ReadSyncRetry(0);
+  std::printf("post-recovery write: %s, read: v%llu\n",
+              w.ok() ? "committed" : w.status().ToString().c_str(),
+              r.ok() ? static_cast<unsigned long long>(r->version) : 0ULL);
+  std::printf("disk crashes: %llu, recoveries: %llu, recovered records: "
+              "%llu\n",
+              static_cast<unsigned long long>(
+                  cluster.metrics().counter("disk.crashes")->value()),
+              static_cast<unsigned long long>(
+                  cluster.metrics().counter("store.recoveries")->value()),
+              static_cast<unsigned long long>(
+                  cluster.metrics().counter("store.recovered_records")
+                      ->value()));
+
+  Status lemma1 = cluster.CheckEpochInvariants();
+  Status history = cluster.CheckHistory();
+  Status replicas = cluster.CheckReplicaConsistency();
+  std::printf("\nLemma 1 invariants: %s\nreplica consistency: %s\n"
+              "history check:      %s\n",
+              lemma1.ToString().c_str(), replicas.ToString().c_str(),
+              history.ToString().c_str());
+  return lemma1.ok() && history.ok() && replicas.ok() && w.ok() && r.ok() &&
+                 !cluster.node(0).has_staged_transaction()
+             ? 0
+             : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcp;
+  using namespace dcp::protocol;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--durability") == 0) return DurabilityAct();
+  }
 
   ClusterOptions options;
   options.num_nodes = 9;

@@ -15,6 +15,7 @@ std::string KindName(NemesisEvent::Kind kind) {
     case NemesisEvent::Kind::kFlappingLink: return "flapping-link";
     case NemesisEvent::Kind::kSlowLink: return "slow-link";
     case NemesisEvent::Kind::kMessageChaos: return "message-chaos";
+    case NemesisEvent::Kind::kStagedCrash: return "staged-crash";
   }
   return "?";
 }
@@ -43,6 +44,9 @@ std::string NemesisEvent::Describe() const {
       d += " drop=" + std::to_string(faults.drop) +
            " dup=" + std::to_string(faults.duplicate) +
            " reorder=" + std::to_string(faults.reorder);
+      break;
+    case Kind::kStagedCrash:
+      d += " count=" + std::to_string(crash_count);
       break;
   }
   return d;
@@ -131,6 +135,39 @@ Scenario RandomScenario(uint64_t seed, uint32_t num_nodes,
   return s;
 }
 
+Scenario CrashPointScenario(uint64_t seed, uint32_t num_nodes,
+                            sim::Time horizon) {
+  Scenario s;
+  s.name = "crash-point-" + std::to_string(seed);
+  Rng rng(seed);
+
+  // A dense train of staged crashes (most events) with ordinary crash
+  // storms mixed in: the former hit nodes mid-commit, the latter keep the
+  // cluster exercising cooperative termination and catch-up propagation
+  // against recovered-from-disk peers.
+  sim::Time t = 150 + rng.NextDouble() * 200;
+  while (t < horizon * 0.7) {
+    NemesisEvent ev;
+    ev.at = t;
+    ev.duration = 100 + rng.NextDouble() * 300;
+    if (rng.Bernoulli(0.75)) {
+      ev.kind = NemesisEvent::Kind::kStagedCrash;
+      ev.crash_count = 1 + static_cast<uint32_t>(
+                               rng.Uniform(std::max(1u, num_nodes / 4)));
+    } else {
+      ev.kind = NemesisEvent::Kind::kCrashStorm;
+      uint32_t victims = 1 + static_cast<uint32_t>(
+                                 rng.Uniform(std::max(1u, num_nodes / 3)));
+      while (ev.nodes.Size() < victims) {
+        ev.nodes.Insert(static_cast<NodeId>(rng.Uniform(num_nodes)));
+      }
+    }
+    s.events.push_back(ev);
+    t = ev.at + ev.duration + 100 + rng.NextDouble() * 250;
+  }
+  return s;
+}
+
 Nemesis::Nemesis(protocol::Cluster* cluster, Scenario scenario)
     : cluster_(cluster), scenario_(std::move(scenario)) {
   state_ = std::make_shared<Shared>();
@@ -142,7 +179,10 @@ Nemesis::Nemesis(protocol::Cluster* cluster, Scenario scenario)
     copts.seed = scenario_.churn_seed;
     churn_ = std::make_unique<FaultInjector>(cluster_, copts);
   }
-  for (const NemesisEvent& ev : scenario_.events) ScheduleEvent(ev);
+  staged_victims_.resize(scenario_.events.size());
+  for (size_t i = 0; i < scenario_.events.size(); ++i) {
+    ScheduleEvent(scenario_.events[i], i);
+  }
 }
 
 Nemesis::~Nemesis() { Stop(); }
@@ -151,16 +191,16 @@ void Nemesis::Record(std::string description) {
   log_.push_back({cluster_->simulator().Now(), std::move(description)});
 }
 
-void Nemesis::ScheduleEvent(const NemesisEvent& ev) {
+void Nemesis::ScheduleEvent(const NemesisEvent& ev, size_t index) {
   std::shared_ptr<Shared> state = state_;
   sim::Simulator& sim = cluster_->simulator();
-  sim.Schedule(ev.at, [this, state, ev] {
+  sim.Schedule(ev.at, [this, state, ev, index] {
     if (state->stopped) return;
-    Apply(ev);
+    Apply(ev, index);
   });
-  sim.Schedule(ev.at + ev.duration, [this, state, ev] {
+  sim.Schedule(ev.at + ev.duration, [this, state, ev, index] {
     if (state->stopped) return;
-    Lift(ev);
+    Lift(ev, index);
   });
   if (ev.kind == NemesisEvent::Kind::kFlappingLink) {
     // Pre-compute the whole flap train; each toggle checks the stop flag.
@@ -184,9 +224,26 @@ void Nemesis::ScheduleEvent(const NemesisEvent& ev) {
   }
 }
 
-void Nemesis::Apply(const NemesisEvent& ev) {
+void Nemesis::Apply(const NemesisEvent& ev, size_t index) {
   Record("apply " + ev.Describe());
   switch (ev.kind) {
+    case NemesisEvent::Kind::kStagedCrash: {
+      // Pick victims now: up nodes currently holding a prepared 2PC
+      // action — their next crash lands between the durable prepare and
+      // the resolution, the window recovery gets wrong most easily.
+      NodeSet victims;
+      for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+        if (victims.Size() >= ev.crash_count) break;
+        if (cluster_->network().IsUp(n) &&
+            cluster_->node(n).has_staged_transaction()) {
+          victims.Insert(n);
+        }
+      }
+      staged_victims_[index] = victims;
+      for (NodeId n : victims) cluster_->Crash(n);
+      Record("staged-crash victims " + victims.ToString());
+      break;
+    }
     case NemesisEvent::Kind::kCrashStorm:
       for (NodeId n : ev.nodes) {
         if (cluster_->network().IsUp(n)) cluster_->Crash(n);
@@ -213,9 +270,15 @@ void Nemesis::Apply(const NemesisEvent& ev) {
   }
 }
 
-void Nemesis::Lift(const NemesisEvent& ev) {
+void Nemesis::Lift(const NemesisEvent& ev, size_t index) {
   Record("lift " + ev.Describe());
   switch (ev.kind) {
+    case NemesisEvent::Kind::kStagedCrash:
+      for (NodeId n : staged_victims_[index]) {
+        if (!cluster_->network().IsUp(n)) cluster_->Recover(n);
+      }
+      staged_victims_[index] = NodeSet{};
+      break;
     case NemesisEvent::Kind::kCrashStorm:
       for (NodeId n : ev.nodes) {
         if (!cluster_->network().IsUp(n)) cluster_->Recover(n);

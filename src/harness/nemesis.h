@@ -24,6 +24,11 @@ struct NemesisEvent {
     kFlappingLink,   ///< Toggle the src <-> dst link every `flap_period`.
     kSlowLink,       ///< Apply `faults` (latency override) to src <-> dst.
     kMessageChaos,   ///< Apply `faults` (drop/dup/reorder) to every link.
+    kStagedCrash,    ///< Crash up to `crash_count` nodes that are holding
+                     ///< a prepared-but-undecided 2PC action *right now*
+                     ///< (i.e. genuinely mid-commit). Victims are picked
+                     ///< at apply time and recovered at the end; if no
+                     ///< node is mid-commit, nothing happens.
   };
 
   Kind kind = Kind::kMessageChaos;
@@ -35,6 +40,7 @@ struct NemesisEvent {
   NodeId dst = kInvalidNode;
   sim::Time flap_period = 50;   ///< kFlappingLink toggle period.
   net::LinkFaults faults;       ///< kSlowLink / kMessageChaos knobs.
+  uint32_t crash_count = 1;     ///< kStagedCrash victim budget.
 
   std::string Describe() const;
 };
@@ -60,6 +66,17 @@ struct Scenario {
 /// windows, plus background churn — all derived deterministically from
 /// `seed` (same seed, same nodes, same horizon => identical scenario).
 Scenario RandomScenario(uint64_t seed, uint32_t num_nodes, sim::Time horizon);
+
+/// Generates a crash-point scenario: a dense train of kStagedCrash events
+/// that repeatedly kill nodes *while they hold prepared 2PC actions* —
+/// i.e. between the durable prepare and the commit/abort resolution —
+/// interleaved with ordinary crash storms. The schedule is deterministic
+/// in `seed`; which nodes actually die depends on what is mid-commit when
+/// each event fires. Built for the durability suite: every crash point a
+/// WAL recovery implementation can get wrong gets exercised somewhere in
+/// the seed space.
+Scenario CrashPointScenario(uint64_t seed, uint32_t num_nodes,
+                            sim::Time horizon);
 
 /// The nemesis: executes a Scenario against a live Cluster. All
 /// randomness lives in scenario *generation*; execution is a deterministic
@@ -104,9 +121,9 @@ class Nemesis {
     bool stopped = false;
   };
 
-  void ScheduleEvent(const NemesisEvent& ev);
-  void Apply(const NemesisEvent& ev);
-  void Lift(const NemesisEvent& ev);
+  void ScheduleEvent(const NemesisEvent& ev, size_t index);
+  void Apply(const NemesisEvent& ev, size_t index);
+  void Lift(const NemesisEvent& ev, size_t index);
   void Record(std::string description);
 
   protocol::Cluster* cluster_;
@@ -118,6 +135,9 @@ class Nemesis {
   /// last active window ends (chaos composes with a standing model).
   net::LinkFaults baseline_global_;
   int chaos_active_ = 0;
+  /// kStagedCrash victims, chosen at apply time, indexed by event slot
+  /// (the Lift of event i recovers exactly what its Apply crashed).
+  std::vector<NodeSet> staged_victims_;
 };
 
 }  // namespace dcp::harness

@@ -66,6 +66,10 @@ void RpcRuntime::AbortAll() {
                    {{"outcome", "abandoned"}});
   }
   outstanding_.Clear();
+  // Invalidate any deferred responders still held by the service: the
+  // handler ran, but the node died before acknowledging, so the caller
+  // must observe a timeout, not a post-crash reply.
+  ++incarnation_;
   // The reply cache is volatile server-side state: a crashed-and-
   // recovered node has genuinely forgotten what it answered.
   reply_cache_.Clear();
@@ -133,23 +137,32 @@ void RpcRuntime::Deliver(Message msg) {
         network_->Send(std::move(reply));
         break;
       }
-      Result<PayloadPtr> result =
-          service_->HandleRequest(msg.src, msg.type, msg.payload);
-
-      Message reply;
-      reply.src = self_;
-      reply.dst = msg.src;
-      reply.rpc_id = msg.rpc_id;
-      reply.kind = Message::Kind::kResponse;
-      reply.type = msg.type.Reply();
-      if (result.ok()) {
-        reply.payload = std::move(result).value();
-      } else {
-        reply.status = result.status();
-      }
-      RememberReply(dedup_key, reply);
-      // Lost replies surface at the caller via its timeout.
-      network_->Send(std::move(reply));
+      const NodeId src = msg.src;
+      const uint64_t rpc_id = msg.rpc_id;
+      const TypeName reply_type = msg.type.Reply();
+      const uint64_t inc = incarnation_;
+      service_->HandleRequestAsync(
+          msg.src, msg.type, msg.payload,
+          [this, inc, src, rpc_id, dedup_key,
+           reply_type](Result<PayloadPtr> result) {
+            // Crashed (or crashed-and-recovered) between delivery and
+            // completion: the pre-crash handler's answer is void.
+            if (inc != incarnation_ || !network_->IsUp(self_)) return;
+            Message reply;
+            reply.src = self_;
+            reply.dst = src;
+            reply.rpc_id = rpc_id;
+            reply.kind = Message::Kind::kResponse;
+            reply.type = reply_type;
+            if (result.ok()) {
+              reply.payload = std::move(result).value();
+            } else {
+              reply.status = result.status();
+            }
+            RememberReply(dedup_key, reply);
+            // Lost replies surface at the caller via its timeout.
+            network_->Send(std::move(reply));
+          });
       break;
     }
     case Message::Kind::kResponse: {

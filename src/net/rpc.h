@@ -52,6 +52,12 @@ struct RpcResult {
 
 using RpcCallback = std::function<void(RpcResult)>;
 
+/// Hands a handler's result back to the runtime, which turns it into the
+/// wire response. May be invoked later than the delivery event (e.g. after
+/// a WAL sync); a responder held across a crash of the serving node is
+/// silently dropped by the runtime's incarnation guard.
+using Responder = std::function<void(Result<PayloadPtr>)>;
+
 /// Server-side dispatch: each node installs one service that handles all
 /// request types addressed to it.
 class RpcService {
@@ -63,6 +69,16 @@ class RpcService {
   /// response — NOT RPC.CallFailed).
   virtual Result<PayloadPtr> HandleRequest(NodeId from, const std::string& type,
                                            const PayloadPtr& request) = 0;
+
+  /// Asynchronous variant: the service may defer the response (durable-
+  /// before-ack) by stashing `respond` and invoking it later. The default
+  /// runs the synchronous handler and responds inline, which keeps the
+  /// message schedule byte-identical for services that never defer.
+  virtual void HandleRequestAsync(NodeId from, const std::string& type,
+                                  const PayloadPtr& request,
+                                  Responder respond) {
+    respond(HandleRequest(from, type, request));
+  }
 };
 
 /// Per-node RPC endpoint: issues calls with timeout + CallFailed semantics
@@ -125,6 +141,10 @@ class RpcRuntime : public MessageSink {
   sim::Time timeout_;
   RpcService* service_ = nullptr;
   uint64_t next_rpc_id_ = 1;
+  /// Bumped by AbortAll. A deferred Responder captured before a crash
+  /// compares its incarnation against this and drops the reply: the
+  /// pre-crash node must not answer from beyond the grave.
+  uint64_t incarnation_ = 0;
   /// rpc_id -> in-flight call state. Flat-hashed: Call/Complete are the
   /// hottest per-message operations, and rpc ids are dense integers.
   FlatMap<Outstanding> outstanding_;

@@ -1,0 +1,26 @@
+#ifndef DCP_PROTOCOL_ACTION_CODEC_H_
+#define DCP_PROTOCOL_ACTION_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/messages.h"
+#include "store/codec.h"
+
+namespace dcp::protocol {
+
+/// Serializes a staged 2PC action for the durable store, which treats it
+/// as an opaque blob (store/durable_store.h keeps protocol types out of
+/// the storage layer). The encoding shares the little-endian primitives
+/// of the WAL payloads.
+std::vector<uint8_t> EncodeStagedAction(const StagedAction& action);
+
+/// Inverse of EncodeStagedAction. Returns false on a malformed blob
+/// (which recovery treats as a fatal invariant violation — blobs are
+/// CRC-protected by the log framing, so this never fires on tears).
+bool DecodeStagedAction(const std::vector<uint8_t>& blob,
+                        StagedAction* action);
+
+}  // namespace dcp::protocol
+
+#endif  // DCP_PROTOCOL_ACTION_CODEC_H_

@@ -49,9 +49,16 @@ Cluster::Cluster(ClusterOptions options)
                                                    options_.initial_value);
   nodes_.reserve(options_.num_nodes);
   for (uint32_t i = 0; i < options_.num_nodes; ++i) {
+    ReplicaNodeOptions node_options = options_.node_options;
+    if (options_.durability.enabled) {
+      node_options.durability = options_.durability;
+      // Independent per-node crash RNG: tears on node i never consume
+      // draws another node (or the network) would have seen.
+      node_options.durability.crash.seed =
+          options_.seed ^ (0x9E3779B97F4A7C15ull * (i + 1));
+    }
     nodes_.push_back(std::make_unique<ReplicaNode>(
-        network_.get(), i, all, rule_.get(), initial_values,
-        options_.node_options));
+        network_.get(), i, all, rule_.get(), initial_values, node_options));
   }
   if (options_.start_epoch_daemons) {
     daemons_.reserve(options_.num_nodes);

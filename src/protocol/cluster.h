@@ -66,6 +66,12 @@ struct ClusterOptions {
   net::FaultModel fault_model;
   std::vector<uint8_t> initial_value;  ///< Shared by all objects.
   ReplicaNodeOptions node_options;
+  /// Per-node durable storage (simulated disk + WAL). Off by default —
+  /// the ideal-persistence model, byte-identical to pre-durability runs.
+  /// When enabled, each node gets an independent crash-model RNG derived
+  /// from `seed` and this node's id (durability draws never touch the
+  /// cluster's main RNG stream).
+  store::DurabilityOptions durability;
   WriteOptions write_options;
   /// Governs WriteSyncRetry / ReadSyncRetry.
   RetryPolicy retry_policy;

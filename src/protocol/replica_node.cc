@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "protocol/action_codec.h"
 #include "util/logging.h"
 
 namespace dcp::protocol {
@@ -22,12 +23,22 @@ ReplicaNode::ReplicaNode(net::Network* network, NodeId self,
       rule_(rule),
       options_(options) {
   assert(!initial_values.empty());
+  if (options_.durability.enabled) {
+    // Keep the birth state: durable recovery rebuilds from disk, and an
+    // empty disk means "never wrote anything" — i.e. exactly this.
+    initial_values_ = initial_values;
+  }
   for (ObjectId id = 0; id < initial_values.size(); ++id) {
     objects_.emplace(
         id, storage::ReplicaStore(self, epoch_,
                                   std::move(initial_values[id])));
   }
   rpc_.set_service(this);
+  if (options_.durability.enabled) {
+    durable_ =
+        std::make_unique<store::DurableStore>(simulator(), options_.durability);
+    durable_->set_snapshot_source([this] { return CheckpointState(); });
+  }
 
   obs::MetricsRegistry& m = simulator()->metrics();
   const std::string p = "node." + std::to_string(self) + ".";
@@ -72,14 +83,109 @@ void ReplicaNode::Crash() {
   // participants resolve via presumed abort once we answer outcome
   // queries again ("no record, not deciding" => abort).
   coordinating_.clear();
+  if (durable_) durable_->Crash();
 }
 
 void ReplicaNode::Recover() {
+  if (durable_) RestoreFromDisk();
   ++termination_epoch_;
-  for (const auto& [key, staged] : staged_) ArmTerminationTimer(staged.owner);
+  // In-doubt transactions keep their exclusive locks across the crash.
+  // The lock table itself is volatile, but a prepared action's footprint
+  // must stay guarded until the outcome is known — otherwise a reader
+  // could lock around the undecided write and return the old version
+  // (a stale read the history checker rightly rejects).
+  for (const auto& [key, staged] : staged_) {
+    RelockStaged(staged);
+    ArmTerminationTimer(staged.owner);
+  }
   if (HasPendingPropagation()) {
     SchedulePropagation(options_.propagation_start_delay);
   }
+}
+
+void ReplicaNode::RelockStaged(const Staged& staged) {
+  auto relock = [&](ObjectId object) {
+    auto it = objects_.find(object);
+    if (it == objects_.end()) return;
+    // Cannot conflict: the post-crash lock table is empty and staged
+    // footprints are pairwise disjoint (enforced at prepare time).
+    Status s = it->second.Lock(staged.owner, /*exclusive=*/true);
+    assert(s.ok() && "staged footprints must be disjoint");
+    (void)s;
+  };
+  if (staged.action.install_epoch) {
+    for (auto& [id, store] : objects_) relock(id);
+  } else {
+    for (const ObjectAction& act : staged.action.objects) relock(act.object);
+  }
+}
+
+store::RecoveredState ReplicaNode::InitialState() const {
+  store::RecoveredState st;
+  st.epoch_number = 0;
+  st.epoch_list = all_nodes_;
+  for (ObjectId id = 0; id < initial_values_.size(); ++id) {
+    store::RecoveredState::ObjectState os;
+    os.object = storage::VersionedObject(initial_values_[id]);
+    st.objects.emplace(id, std::move(os));
+  }
+  return st;
+}
+
+store::RecoveredState ReplicaNode::CheckpointState() const {
+  store::RecoveredState st;
+  st.epoch_number = epoch_->number;
+  st.epoch_list = epoch_->list;
+  for (const auto& [id, replica] : objects_) {
+    store::RecoveredState::ObjectState os;
+    os.object = replica.object();
+    os.stale = replica.stale();
+    os.desired_version = replica.desired_version();
+    st.objects.emplace(id, std::move(os));
+  }
+  for (const auto& [key, staged] : staged_) {
+    st.staged[key] = store::RecoveredState::StagedEntry{
+        staged.owner, staged.participants, EncodeStagedAction(staged.action)};
+  }
+  for (const auto& [key, outcome] : outcomes_) {
+    st.outcomes[key] = static_cast<uint8_t>(outcome);
+  }
+  st.pending_propagation = pending_propagation_;
+  st.next_operation_id = next_operation_id_;
+  return st;
+}
+
+void ReplicaNode::RestoreFromDisk() {
+  store::RecoveredState state = durable_->Recover(InitialState());
+
+  epoch_->number = state.epoch_number;
+  epoch_->list = state.epoch_list;
+  for (auto& [id, os] : state.objects) {
+    objects_.at(id).RestorePersistent(std::move(os.object), os.stale,
+                                      os.desired_version);
+  }
+  staged_.clear();
+  for (auto& [key, entry] : state.staged) {
+    StagedAction action;
+    bool ok = DecodeStagedAction(entry.action, &action);
+    assert(ok && "staged-action blob survived CRC but failed to decode");
+    (void)ok;
+    staged_[key] = Staged{entry.owner, std::move(action), entry.participants};
+  }
+  outcomes_.clear();
+  for (const auto& [key, outcome] : state.outcomes) {
+    outcomes_[key] = static_cast<TxOutcome>(outcome);
+  }
+  pending_propagation_.clear();
+  for (auto& [object, targets] : state.pending_propagation) {
+    if (!targets.Empty()) pending_propagation_[object] = std::move(targets);
+  }
+  // Skip a full stride past the recovered watermark: ids minted between
+  // the last durable watermark record and the crash stay retired even
+  // though the record advancing past them may have been torn.
+  next_operation_id_ =
+      state.next_operation_id + options_.durability.opid_stride;
+  durable_->ReserveOperationIds(next_operation_id_);
 }
 
 ReplicaStateTuple ReplicaNode::StateTuple(ObjectId object) const {
@@ -105,6 +211,17 @@ void ReplicaNode::DecideCoordinatedTx(const LockOwner& tx, TxOutcome outcome) {
   coordinating_.erase(KeyOf(tx));
 }
 
+void ReplicaNode::DecideCoordinatedTxDurable(const LockOwner& tx,
+                                             TxOutcome outcome,
+                                             std::function<void()> done) {
+  DecideCoordinatedTx(tx, outcome);  // RecordOutcome appends the record.
+  if (!durable_) {
+    done();
+    return;
+  }
+  durable_->Commit(std::move(done));
+}
+
 TxOutcome ReplicaNode::LookupOutcome(const LockOwner& tx) const {
   auto it = outcomes_.find(KeyOf(tx));
   return it == outcomes_.end() ? TxOutcome::kUnknown : it->second;
@@ -112,6 +229,10 @@ TxOutcome ReplicaNode::LookupOutcome(const LockOwner& tx) const {
 
 void ReplicaNode::RecordOutcome(const LockOwner& tx, TxOutcome outcome) {
   outcomes_[KeyOf(tx)] = outcome;
+  // kDecide (not kResolve): recording an outcome must not erase a staged
+  // entry on replay — CommitStaged/AbortStaged append the kResolve that
+  // does, after their effect records.
+  if (durable_) durable_->LogDecide(tx, static_cast<uint8_t>(outcome));
 }
 
 bool ReplicaNode::LockIsStaged(const LockOwner& owner) const {
@@ -174,6 +295,30 @@ void ReplicaNode::UnlockEverywhere(const LockOwner& owner) {
 // ---------------------------------------------------------------------------
 // Request dispatch.
 // ---------------------------------------------------------------------------
+
+void ReplicaNode::HandleRequestAsync(NodeId from, const std::string& type,
+                                     const net::PayloadPtr& request,
+                                     net::Responder respond) {
+  if (!durable_) {
+    respond(HandleRequest(from, type, request));
+    return;
+  }
+  // Types whose handlers may mutate persistent state that the caller
+  // relies on once acknowledged: a staged prepare, a commit/abort
+  // resolution, received propagation data. Their acks wait for the log.
+  const bool ack_gated = type == msg::kPrepare || type == msg::kCommit ||
+                         type == msg::kAbort || type == msg::kPropData;
+  const uint64_t lsn_before = durable_->end_lsn();
+  Result<PayloadPtr> result = HandleRequest(from, type, request);
+  if (ack_gated && durable_->end_lsn() != lsn_before) {
+    durable_->Commit(
+        [respond = std::move(respond), result = std::move(result)]() mutable {
+          respond(std::move(result));
+        });
+    return;
+  }
+  respond(std::move(result));
+}
 
 Result<PayloadPtr> ReplicaNode::HandleRequest(NodeId from,
                                               const std::string& type,
@@ -270,6 +415,11 @@ Result<PayloadPtr> ReplicaNode::HandlePrepare(const PrepareRequest& req) {
 
   staged_[KeyOf(req.owner)] = Staged{req.owner, req.action,
                                      req.participants};
+  if (durable_) {
+    // Staged before acknowledged: the coordinator may count this vote.
+    durable_->LogStage(req.owner, req.participants,
+                       EncodeStagedAction(req.action));
+  }
   counters_.prepares->Increment();
   ArmTerminationTimer(req.owner);
   return PayloadPtr(MakePayload<AckResponse>());
@@ -336,6 +486,9 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
   if (action.install_epoch) {
     epoch_->number = action.epoch_number;
     epoch_->list = action.epoch_list;
+    if (durable_) {
+      durable_->LogEpochInstall(action.epoch_number, action.epoch_list);
+    }
     simulator()->tracer().Instant(
         "epoch", "epoch.install", self_,
         {{"number", std::to_string(action.epoch_number)},
@@ -354,7 +507,19 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
       assert(store.version() + 1 >= act.update_target_version);
       if (store.version() + 1 == act.update_target_version) {
         store.object().Apply(act.update);
-        store.ClearStale();
+        if (durable_) {
+          durable_->LogUpdate(act.object, act.update_target_version,
+                              act.update);
+        }
+        // A late commit may land while the replica is already marked
+        // stale with a HIGHER desired version (a newer write committed
+        // elsewhere during the gap). Clearing the flag then would tell
+        // propagation sources "i-am-current" and strand the replica at
+        // the lower version — only clear once the target is reached.
+        if (store.stale() && store.desired_version() <= store.version()) {
+          store.ClearStale();
+          if (durable_) durable_->LogClearStale(act.object);
+        }
       }
     }
     if (act.install_snapshot) {
@@ -363,7 +528,15 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
       // (same late-commit reasoning as above).
       if (store.version() < act.snapshot_version) {
         store.object().InstallSnapshot(act.snapshot_version, act.snapshot);
-        store.ClearStale();
+        if (durable_) {
+          durable_->LogSnapshot(act.object, act.snapshot_version,
+                                act.snapshot.bytes);
+        }
+        // Same late-commit hazard as the update path above.
+        if (store.stale() && store.desired_version() <= store.version()) {
+          store.ClearStale();
+          if (durable_) durable_->LogClearStale(act.object);
+        }
       }
     }
     if (act.mark_stale) {
@@ -374,6 +547,7 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
       if (store.stale()) dv = std::max(dv, store.desired_version());
       if (store.version() < dv) {
         store.MarkStale(dv);
+        if (durable_) durable_->LogMarkStale(act.object, dv);
         simulator()->tracer().Instant(
             "node", "node.mark_stale", self_,
             {{"object", std::to_string(act.object)},
@@ -383,6 +557,14 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
     if (!act.propagate_to.Empty()) {
       AddPropagationTargets(act.object, act.propagate_to);
     }
+  }
+  // kResolve LAST: a torn tail keeps a byte prefix, so if this record
+  // survives a crash, every effect record above survived with it. The
+  // converse tear (effects without resolve) leaves the staged entry for
+  // cooperative termination, whose re-commit the version guards absorb.
+  if (durable_) {
+    durable_->LogResolve(staged.owner,
+                         static_cast<uint8_t>(TxOutcome::kCommitted));
   }
   UnlockEverywhere(staged.owner);
 }
@@ -394,6 +576,10 @@ void ReplicaNode::AbortStaged(const LockOwner& tx) {
   staged_.erase(it);
   RecordOutcome(staged.owner, TxOutcome::kAborted);
   counters_.aborts->Increment();
+  if (durable_) {
+    durable_->LogResolve(staged.owner,
+                         static_cast<uint8_t>(TxOutcome::kAborted));
+  }
   UnlockEverywhere(staged.owner);
 }
 
@@ -411,6 +597,20 @@ void ReplicaNode::ArmTerminationTimer(const LockOwner& tx) {
 void ReplicaNode::RunTerminationProtocol(const LockOwner& tx) {
   auto it = staged_.find(KeyOf(tx));
   assert(it != staged_.end());
+  if (durable_) {
+    // A recovered node may hold both the staged entry and the durable
+    // outcome (the commit's kDecide record survived a tear that its
+    // kResolve did not). Resolve locally — no need to ask anyone.
+    TxOutcome known = LookupOutcome(tx);
+    if (known == TxOutcome::kCommitted) {
+      CommitStaged(tx);
+      return;
+    }
+    if (known == TxOutcome::kAborted) {
+      AbortStaged(tx);
+      return;
+    }
+  }
   counters_.termination_polls->Increment();
   NodeSet peers = it->second.participants;
   peers.Erase(self());
@@ -493,9 +693,17 @@ void ReplicaNode::AddPropagationTargets(ObjectId object,
   added.Erase(self());
   NodeSet& pending = pending_propagation_[object];
   pending = pending.Union(added);
+  if (durable_ && !added.Empty()) durable_->LogPropAdd(object, added);
   if (!pending.Empty()) {
     SchedulePropagation(options_.propagation_start_delay);
   }
+}
+
+void ReplicaNode::FinishPropagation(ObjectId object, NodeId target) {
+  pending_propagation_[object].Erase(target);
+  // Not ack-gated (we are the caller here); rides the lazy flush. Lost
+  // to a crash, the duty survives and the next offer gets "i-am-current".
+  if (durable_) durable_->LogPropDone(object, target);
 }
 
 void ReplicaNode::SchedulePropagation(sim::Time delay) {
@@ -568,7 +776,7 @@ void ReplicaNode::OfferPropagation(ObjectId object, NodeId target) {
     const auto& reply = net::As<PropagationOfferReply>(r.response);
     switch (reply.verdict) {
       case PropagationVerdict::kIAmCurrent:
-        pending_propagation_[object].Erase(target);
+        FinishPropagation(object, target);
         return;
       case PropagationVerdict::kAlreadyRecovering:
         return;  // "pause(some-time)" — the next round re-offers.
@@ -594,7 +802,7 @@ void ReplicaNode::OfferPropagation(ObjectId object, NodeId target) {
     rpc_.Call(target, msg::kPropData, data,
               [this, object, target](net::RpcResult rr) {
                 if (!rr.ok()) return;  // Stays pending; next round retries.
-                pending_propagation_[object].Erase(target);
+                FinishPropagation(object, target);
                 counters_.propagations_completed->Increment();
               });
   });
@@ -668,15 +876,26 @@ Result<PayloadPtr> ReplicaNode::HandlePropData(NodeId from,
   if (req.snapshot) {
     assert(req.updates.size() == 1 && req.updates[0].total);
     store.object().InstallSnapshot(req.snapshot_version, req.updates[0]);
+    if (durable_) {
+      durable_->LogSnapshot(req.object, req.snapshot_version,
+                            req.updates[0].bytes);
+    }
   } else {
     Status s = store.object().ApplyPropagated(req.first_version, req.updates);
     if (!s.ok()) {
       release();
       return s;
     }
+    if (durable_) {
+      for (size_t i = 0; i < req.updates.size(); ++i) {
+        durable_->LogUpdate(req.object, req.first_version + i,
+                            req.updates[i]);
+      }
+    }
   }
   if (store.version() >= store.desired_version()) {
     store.ClearStale();
+    if (durable_) durable_->LogClearStale(req.object);
     counters_.propagations_received->Increment();
     simulator()->tracer().Instant("prop", "prop.caught_up", self_,
                                   {{"object", std::to_string(req.object)},

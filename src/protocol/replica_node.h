@@ -13,6 +13,7 @@
 #include "net/rpc.h"
 #include "protocol/messages.h"
 #include "storage/replica_store.h"
+#include "store/durable_store.h"
 
 namespace dcp::protocol {
 
@@ -55,6 +56,12 @@ struct ReplicaNodeOptions {
 
   /// RPC timeout for this node's outgoing calls.
   sim::Time rpc_timeout = 100.0;
+
+  /// Durable storage engine (simulated disk + WAL). Disabled by default:
+  /// the node then models the paper's ideal persistent store (RAM state
+  /// survives Crash()/Recover() untouched) and constructs no engine at
+  /// all, keeping schedules byte-identical to pre-durability builds.
+  store::DurabilityOptions durability;
 };
 
 /// Statistics a node keeps about its own protocol activity. Snapshot
@@ -129,15 +136,24 @@ class ReplicaNode : public net::RpcService {
   /// Fail-stop crash: volatile state (locks, lock leases, outstanding
   /// RPCs) evaporates. Persistent state — the stores, the staged 2PC
   /// action (prepare is logged before acknowledging!), the outcome log —
-  /// survives.
+  /// survives. With durability enabled, the crash also hits the simulated
+  /// disk (dropping or tearing the unsynced log tail).
   void Crash();
 
-  /// Recovery: resumes cooperative termination if a transaction was left
-  /// prepared, and any pending propagation duty.
+  /// Recovery: with durability enabled, first rebuilds all persistent
+  /// state from the checkpoint + log (RAM contents are discarded — only
+  /// what was durable survives). Then resumes cooperative termination if
+  /// a transaction was left prepared, and any pending propagation duty.
   void Recover();
 
-  /// Allocates an id for an operation coordinated by this node.
-  uint64_t NextOperationId() { return next_operation_id_++; }
+  /// Allocates an id for an operation coordinated by this node. With
+  /// durability on, keeps the durable id watermark ahead of the ids
+  /// handed out, so recovery never re-mints a used LockOwner identity.
+  uint64_t NextOperationId() {
+    uint64_t id = next_operation_id_++;
+    if (durable_) durable_->ReserveOperationIds(next_operation_id_);
+    return id;
+  }
 
   /// The state tuple for one object, as reported in lock replies.
   ReplicaStateTuple StateTuple(ObjectId object = 0) const;
@@ -149,6 +165,11 @@ class ReplicaNode : public net::RpcService {
   void BeginCoordinatedTx(const LockOwner& tx);
   /// Logs the decision (persistently) — the commit point.
   void DecideCoordinatedTx(const LockOwner& tx, TxOutcome outcome);
+  /// Durable commit point: records the decision and invokes `done` once
+  /// it is on disk — no phase-2 message may leave before then. With
+  /// durability off, `done` runs inline (identical to the plain variant).
+  void DecideCoordinatedTxDurable(const LockOwner& tx, TxOutcome outcome,
+                                  std::function<void()> done);
 
   TxOutcome LookupOutcome(const LockOwner& tx) const;
 
@@ -169,9 +190,19 @@ class ReplicaNode : public net::RpcService {
   /// True iff any 2PC participant action is prepared-but-undecided here.
   bool has_staged_transaction() const { return !staged_.empty(); }
 
+  /// The durable engine, or nullptr with durability off.
+  store::DurableStore* durable_store() { return durable_.get(); }
+
   // net::RpcService:
   Result<net::PayloadPtr> HandleRequest(NodeId from, const std::string& type,
                                         const net::PayloadPtr& request) override;
+  /// Durable-before-ack: requests whose handler mutated persistent state
+  /// (prepare, commit, abort, propagated data) are acknowledged only
+  /// after the log records reach the disk. Everything else — and every
+  /// request with durability off — responds inline.
+  void HandleRequestAsync(NodeId from, const std::string& type,
+                          const net::PayloadPtr& request,
+                          net::Responder respond) override;
 
  private:
   using TxKey = std::pair<NodeId, uint64_t>;
@@ -211,6 +242,9 @@ class ReplicaNode : public net::RpcService {
 
   void CommitStaged(const LockOwner& tx);
   void AbortStaged(const LockOwner& tx);
+  /// Re-acquires the exclusive locks of one in-doubt (staged) action
+  /// after a crash, so readers cannot slip around it before termination.
+  void RelockStaged(const Staged& staged);
   void ArmTerminationTimer(const LockOwner& tx);
   void RunTerminationProtocol(const LockOwner& tx);
 
@@ -218,6 +252,14 @@ class ReplicaNode : public net::RpcService {
   void RunPropagationRound();
   void OfferPropagation(ObjectId object, NodeId target);
   bool HasPendingPropagation() const;
+
+  /// Marks one propagation duty fulfilled (durably, when enabled).
+  void FinishPropagation(ObjectId object, NodeId target);
+
+  // Durability plumbing (all no-ops / unused with durability off).
+  store::RecoveredState InitialState() const;   ///< Birth state.
+  store::RecoveredState CheckpointState() const;  ///< Live state snapshot.
+  void RestoreFromDisk();  ///< Rebuilds RAM state via DurableStore::Recover.
 
   /// Registry handles for this node's protocol counters ("node.<id>.*"),
   /// cached at construction so increments never do a by-name lookup.
@@ -244,6 +286,12 @@ class ReplicaNode : public net::RpcService {
   ReplicaNodeOptions options_;
   NodeCounters counters_;
   ExtensionHandler extension_handler_;
+
+  /// Durable engine; null with durability off. `initial_values_` is the
+  /// birth state Recover() rebuilds from when the disk is empty (kept
+  /// only when durable).
+  std::unique_ptr<store::DurableStore> durable_;
+  std::vector<std::vector<uint8_t>> initial_values_;
 
   // Persistent: 2PC participant + coordinator logs. Several transactions
   // may be prepared concurrently (they necessarily touch disjoint lock

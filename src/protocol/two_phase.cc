@@ -54,11 +54,7 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
   state->done = std::move(done);
   state->expected = participants.Size();
 
-  auto finish_phase1 = [state] {
-    TxOutcome outcome =
-        state->all_prepared ? TxOutcome::kCommitted : TxOutcome::kAborted;
-    // The commit point: log the decision before any phase-2 message.
-    state->coordinator->DecideCoordinatedTx(state->tx, outcome);
+  auto run_phase2 = [state](TxOutcome outcome) {
     if (state->on_decide) state->on_decide(outcome);
 
     sim::Simulator* sim = state->coordinator->simulator();
@@ -104,6 +100,16 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
             state->done(Status::Aborted("2pc aborted: " + s.ToString()));
           }
         });
+  };
+
+  auto finish_phase1 = [state, run_phase2] {
+    TxOutcome outcome =
+        state->all_prepared ? TxOutcome::kCommitted : TxOutcome::kAborted;
+    // The commit point: log the decision before any phase-2 message.
+    // With durability on, phase 2 waits until the decision record is on
+    // disk; otherwise the continuation runs inline.
+    state->coordinator->DecideCoordinatedTxDurable(
+        state->tx, outcome, [run_phase2, outcome] { run_phase2(outcome); });
   };
 
   if (state->expected == 0) {

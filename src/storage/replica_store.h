@@ -120,6 +120,16 @@ class ReplicaStore {
   /// survives to recovery.
   void Crash();
 
+  /// Overwrites the persistent slice wholesale from recovered durable
+  /// state. Volatile state must already be clear (post-Crash); the shared
+  /// epoch record is restored separately, once per group.
+  void RestorePersistent(VersionedObject object, bool stale,
+                         Version desired_version) {
+    object_ = std::move(object);
+    stale_ = stale;
+    desired_version_ = desired_version;
+  }
+
   /// One-line state summary for logs and debugging.
   std::string DebugString() const;
 

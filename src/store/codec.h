@@ -1,0 +1,113 @@
+#ifndef DCP_STORE_CODEC_H_
+#define DCP_STORE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/versioned_object.h"
+#include "util/node_set.h"
+
+namespace dcp::store {
+
+/// CRC-32 (the reflected 0xEDB88320 polynomial — the one in zlib, gzip,
+/// ext4 and everything else that says "crc32"). `seed` lets a frame's
+/// checksum chain across header and payload without concatenating them.
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
+inline uint32_t Crc32(const std::vector<uint8_t>& data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+/// Little-endian, fixed-width serializer for durable records. The wire
+/// vocabulary is deliberately tiny — integers, bools and length-prefixed
+/// byte strings — so the decoder can bound-check everything and recovery
+/// never trusts a length it has not verified.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  /// Length-prefixed byte string.
+  void Bytes(const std::vector<uint8_t>& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void Raw(const uint8_t* p, size_t n) { buf_.insert(buf_.end(), p, p + n); }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader. A decode past the end (or a length prefix that
+/// overruns the buffer) flips ok() to false and every subsequent read
+/// returns a zero value; callers check ok() once at the end instead of
+/// after every field. Recovery treats !ok() as a corrupt record.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* p, size_t n) : p_(p), end_(p + n) {}
+  explicit ByteReader(const std::vector<uint8_t>& b)
+      : ByteReader(b.data(), b.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return *p_++;
+  }
+  bool Bool() { return U8() != 0; }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(*p_++) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(*p_++) << (8 * i);
+    return v;
+  }
+  std::vector<uint8_t> Bytes() {
+    uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::vector<uint8_t> out(p_, p_ + n);
+    p_ += n;
+    return out;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+// --- shared composite encodings ------------------------------------------
+
+void PutNodeSet(ByteWriter& w, const NodeSet& s);
+NodeSet GetNodeSet(ByteReader& r);
+
+void PutUpdate(ByteWriter& w, const storage::Update& u);
+storage::Update GetUpdate(ByteReader& r);
+
+}  // namespace dcp::store
+
+#endif  // DCP_STORE_CODEC_H_

@@ -1,0 +1,132 @@
+#include "store/sim_disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dcp::store {
+
+SimDisk::SimDisk(sim::Simulator* sim, DiskOptions options,
+                 DiskCrashModel crash)
+    : sim_(sim), opt_(options), crash_model_(crash) {
+  obs::MetricsRegistry& m = sim_->metrics();
+  appends_ = m.counter("disk.appends");
+  append_bytes_ = m.counter("disk.append_bytes");
+  syncs_ = m.counter("disk.syncs");
+  synced_bytes_ = m.counter("disk.synced_bytes");
+  replaces_ = m.counter("disk.replaces");
+  crashes_ = m.counter("disk.crashes");
+  torn_tails_ = m.counter("disk.torn_tails");
+  lost_bytes_ = m.counter("disk.lost_bytes");
+}
+
+SimDisk::FileId SimDisk::OpenFile(std::string name) {
+  files_.push_back(File{std::move(name), 0, {}, {}});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+uint64_t SimDisk::Append(FileId f, const uint8_t* data, size_t n) {
+  File& file = files_[f];
+  file.tail.insert(file.tail.end(), data, data + n);
+  appends_->Increment();
+  append_bytes_->Increment(n);
+  return End(f);
+}
+
+sim::Time SimDisk::OpStart() const {
+  return std::max(sim_->Now(), busy_until_);
+}
+
+void SimDisk::Sync(FileId f, std::function<void()> done) {
+  File& file = files_[f];
+  // fsync semantics: only bytes present *now* are guaranteed; later
+  // appends ride the next barrier.
+  const uint64_t flush_upto = End(f);
+  const size_t flush_bytes = file.tail.size();
+  const sim::Time latency =
+      opt_.sync_latency + static_cast<double>(flush_bytes) *
+                              opt_.sync_byte_latency;
+  busy_until_ = OpStart() + latency;
+  const uint64_t inc = incarnation_;
+  sim_->ScheduleAt(busy_until_,
+                   [this, f, flush_upto, inc, done = std::move(done)] {
+                     if (inc != incarnation_) return;  // Crashed mid-flight.
+                     File& file = files_[f];
+                     uint64_t durable_end = file.base + file.durable.size();
+                     if (flush_upto > durable_end) {
+                       size_t n = flush_upto - durable_end;
+                       file.durable.insert(file.durable.end(),
+                                           file.tail.begin(),
+                                           file.tail.begin() +
+                                               static_cast<ptrdiff_t>(n));
+                       file.tail.erase(file.tail.begin(),
+                                       file.tail.begin() +
+                                           static_cast<ptrdiff_t>(n));
+                       synced_bytes_->Increment(n);
+                     }
+                     syncs_->Increment();
+                     done();
+                   });
+}
+
+void SimDisk::Replace(FileId f, std::vector<uint8_t> contents,
+                      std::function<void()> done) {
+  const sim::Time latency =
+      opt_.replace_latency + static_cast<double>(contents.size()) *
+                                 opt_.replace_byte_latency;
+  busy_until_ = OpStart() + latency;
+  const uint64_t inc = incarnation_;
+  sim_->ScheduleAt(
+      busy_until_, [this, f, inc, contents = std::move(contents),
+                    done = std::move(done)]() mutable {
+        if (inc != incarnation_) return;  // Rename never happened.
+        File& file = files_[f];
+        file.base = 0;
+        file.durable = std::move(contents);
+        file.tail.clear();
+        replaces_->Increment();
+        done();
+      });
+}
+
+void SimDisk::TruncatePrefix(FileId f, uint64_t new_base) {
+  File& file = files_[f];
+  if (new_base <= file.base) return;
+  assert(new_base <= file.base + file.durable.size());
+  size_t drop = new_base - file.base;
+  file.durable.erase(file.durable.begin(),
+                     file.durable.begin() + static_cast<ptrdiff_t>(drop));
+  file.base = new_base;
+}
+
+void SimDisk::TruncateSuffix(FileId f, uint64_t new_end) {
+  File& file = files_[f];
+  assert(new_end >= file.base);
+  file.tail.clear();
+  if (new_end < file.base + file.durable.size()) {
+    file.durable.resize(new_end - file.base);
+  }
+}
+
+void SimDisk::Crash() {
+  ++incarnation_;  // In-flight syncs and replaces never complete.
+  busy_until_ = 0;
+  crashes_->Increment();
+  for (File& file : files_) {
+    if (file.tail.empty()) continue;
+    if (!crash_rng_) crash_rng_.emplace(crash_model_.seed);
+    size_t kept = 0;
+    if (crash_rng_->Bernoulli(crash_model_.tear_probability)) {
+      // Torn tail: an arbitrary byte prefix reached the platter. The
+      // recovery scan's checksums are what must make this harmless.
+      kept = crash_rng_->Uniform(file.tail.size() + 1);
+      file.durable.insert(file.durable.end(), file.tail.begin(),
+                          file.tail.begin() + static_cast<ptrdiff_t>(kept));
+      torn_tails_->Increment();
+    }
+    lost_bytes_->Increment(file.tail.size() - kept);
+    file.tail.clear();
+  }
+}
+
+}  // namespace dcp::store

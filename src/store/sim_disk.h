@@ -1,0 +1,149 @@
+#ifndef DCP_STORE_SIM_DISK_H_
+#define DCP_STORE_SIM_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace dcp::store {
+
+/// Latency model for one simulated disk device. All costs are simulated
+/// time; the disk schedules completions on the simulator and is exactly
+/// as deterministic as the rest of the event loop (it draws no
+/// randomness outside of Crash()).
+struct DiskOptions {
+  /// Fixed cost of a durability barrier (fsync).
+  sim::Time sync_latency = 0.5;
+  /// Additional cost per byte flushed by a sync.
+  double sync_byte_latency = 0.0005;
+  /// Fixed cost of an atomic whole-file replace (write-temp + rename).
+  sim::Time replace_latency = 1.0;
+  /// Additional cost per byte of the replacement contents.
+  double replace_byte_latency = 0.0005;
+};
+
+/// What happens to the unsynced tail of each file when the node crashes.
+/// Modeled after real power-loss semantics: everything past the last
+/// completed sync either vanishes entirely or is *torn* — an arbitrary
+/// byte prefix of the tail made it to the platter, the rest did not.
+///
+/// The tear RNG is its own lazily-constructed stream (seeded from `seed`,
+/// never from the simulation's main RNG), so enabling durability does not
+/// perturb any other random draw and a model that never crashes costs no
+/// draws at all.
+struct DiskCrashModel {
+  /// Probability that a crash tears the tail (keeps a random prefix)
+  /// instead of dropping it whole.
+  double tear_probability = 0.5;
+  uint64_t seed = 0;
+};
+
+/// A deterministic simulated disk: a set of append-only byte files with
+/// an explicit unsynced tail, driven by the simulator's clock.
+///
+/// Positions are LSNs — absolute byte offsets since the file's creation.
+/// They survive prefix truncation (log compaction keeps later records'
+/// LSNs stable) and recovery, which makes them usable as checkpoint
+/// cursors.
+///
+/// The device executes barriers in FIFO order through a single queue
+/// (`busy_until_`): a sync issued while another is in flight starts only
+/// when the first completes, like a real single-spindle write path.
+class SimDisk {
+ public:
+  using FileId = uint32_t;
+
+  SimDisk(sim::Simulator* sim, DiskOptions options, DiskCrashModel crash);
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  FileId OpenFile(std::string name);
+
+  /// Appends to the unsynced tail. Instant (the OS buffer cache); the
+  /// cost is paid by the sync that flushes it. Returns the end LSN after
+  /// the append.
+  uint64_t Append(FileId f, const uint8_t* data, size_t n);
+  uint64_t Append(FileId f, const std::vector<uint8_t>& data) {
+    return Append(f, data.data(), data.size());
+  }
+
+  /// Durability barrier: `done` fires once every byte appended *before
+  /// this call* is durable. Bytes appended while the sync is in flight
+  /// stay in the tail (fsync guarantees nothing about them). `done` is
+  /// dropped if the node crashes first.
+  void Sync(FileId f, std::function<void()> done);
+
+  /// Atomically replaces the file's durable contents (write-temp +
+  /// rename model: a crash mid-replace leaves the *old* contents). The
+  /// new contents start a fresh LSN space at 0. Drops any unsynced tail
+  /// when it completes.
+  void Replace(FileId f, std::vector<uint8_t> contents,
+               std::function<void()> done);
+
+  /// Drops durable bytes below `new_base` (log compaction). Metadata-only
+  /// and instant. `new_base` must not exceed the durable end.
+  void TruncatePrefix(FileId f, uint64_t new_base);
+
+  /// Drops durable bytes at and past `new_end` — recovery uses this to
+  /// trim a torn record so post-recovery appends don't land behind
+  /// garbage. Also clears the tail. `new_end` must be >= base.
+  void TruncateSuffix(FileId f, uint64_t new_end);
+
+  uint64_t BaseLsn(FileId f) const { return files_[f].base; }
+  uint64_t DurableEnd(FileId f) const {
+    return files_[f].base + files_[f].durable.size();
+  }
+  uint64_t End(FileId f) const {
+    return DurableEnd(f) + files_[f].tail.size();
+  }
+
+  /// The durable image, from BaseLsn to DurableEnd. What recovery sees.
+  const std::vector<uint8_t>& DurableImage(FileId f) const {
+    return files_[f].durable;
+  }
+
+  /// Fail-stop crash: in-flight syncs/replaces never complete (their
+  /// callbacks are dropped), and each file's unsynced tail is either
+  /// torn or discarded per the crash model.
+  void Crash();
+
+ private:
+  struct File {
+    std::string name;
+    uint64_t base = 0;  ///< LSN of durable.front().
+    std::vector<uint8_t> durable;
+    std::vector<uint8_t> tail;  ///< Appended but not yet synced.
+  };
+
+  /// Serializes device operations: next op starts at
+  /// max(now, busy_until_).
+  sim::Time OpStart() const;
+
+  sim::Simulator* sim_;
+  DiskOptions opt_;
+  DiskCrashModel crash_model_;
+  std::optional<Rng> crash_rng_;  ///< Lazily seeded; independent stream.
+  std::vector<File> files_;
+  sim::Time busy_until_ = 0;
+  uint64_t incarnation_ = 0;  ///< Invalidates in-flight ops across crashes.
+
+  // Registry handles ("disk.*"); shared registry => cluster-wide totals.
+  obs::Counter* appends_;
+  obs::Counter* append_bytes_;
+  obs::Counter* syncs_;
+  obs::Counter* synced_bytes_;
+  obs::Counter* replaces_;
+  obs::Counter* crashes_;
+  obs::Counter* torn_tails_;
+  obs::Counter* lost_bytes_;
+};
+
+}  // namespace dcp::store
+
+#endif  // DCP_STORE_SIM_DISK_H_
