@@ -36,6 +36,8 @@
 
 namespace {
 
+// Wall time is the measurement here (real event-queue throughput), not an
+// input to the simulation.  // dcp-lint: allow(wall-clock)
 using Clock = std::chrono::steady_clock;
 
 double Seconds(Clock::time_point t0, Clock::time_point t1) {

@@ -35,6 +35,8 @@
 
 namespace {
 
+// Wall time is the measurement here (records/sec is informational; the
+// gated rows are sim-time).  // dcp-lint: allow(wall-clock)
 using Clock = std::chrono::steady_clock;
 using dcp::NodeSet;
 using dcp::sim::Simulator;

@@ -77,15 +77,18 @@ DynamicChain BuildDynamicEpochChain(uint32_t n_nodes, Real lambda, Real mu,
                                     uint32_t critical);
 
 /// Stationary write availability of the generalized dynamic chain.
+[[nodiscard]]
 Result<Real> DynamicEpochAvailability(uint32_t n_nodes, Real lambda, Real mu,
                                       uint32_t critical);
 
 /// The paper's dynamic grid protocol (critical size 3). Reproduces the
 /// right-hand column of Table 1 via 1 - availability.
+[[nodiscard]]
 Result<Real> DynamicGridAvailability(uint32_t n_nodes, Real lambda, Real mu);
 
 /// Dynamic voting-style protocol (critical size 2), for the related-work
 /// comparisons.
+[[nodiscard]]
 Result<Real> DynamicMajorityAvailability(uint32_t n_nodes, Real lambda,
                                          Real mu);
 

@@ -44,7 +44,7 @@ class MarkovChain {
   /// Stationary distribution; fails if the chain is empty or the balance
   /// system is singular beyond the one redundant equation (e.g. the chain
   /// is not irreducible).
-  Result<std::vector<Real>> StationaryDistribution() const;
+  [[nodiscard]] Result<std::vector<Real>> StationaryDistribution() const;
 
  private:
   std::vector<std::string> labels_;

@@ -39,11 +39,11 @@ class CoterieRule {
 
   /// A concrete read quorum over V. Fails (kInvalidArgument) only if V is
   /// empty.
-  virtual Result<NodeSet> ReadQuorum(const NodeSet& v,
+  [[nodiscard]] virtual Result<NodeSet> ReadQuorum(const NodeSet& v,
                                      uint64_t selector) const = 0;
 
   /// A concrete write quorum over V.
-  virtual Result<NodeSet> WriteQuorum(const NodeSet& v,
+  [[nodiscard]] virtual Result<NodeSet> WriteQuorum(const NodeSet& v,
                                       uint64_t selector) const = 0;
 };
 

@@ -90,9 +90,9 @@ class GridCoterie : public CoterieRule {
   std::string Name() const override;
   bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
   bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
-  Result<NodeSet> ReadQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> ReadQuorum(const NodeSet& v,
                              uint64_t selector) const override;
-  Result<NodeSet> WriteQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> WriteQuorum(const NodeSet& v,
                               uint64_t selector) const override;
 
   const GridOptions& options() const { return options_; }

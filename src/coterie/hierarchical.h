@@ -25,9 +25,9 @@ class HierarchicalCoterie : public CoterieRule {
   std::string Name() const override { return "hierarchical"; }
   bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
   bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
-  Result<NodeSet> ReadQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> ReadQuorum(const NodeSet& v,
                              uint64_t selector) const override;
-  Result<NodeSet> WriteQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> WriteQuorum(const NodeSet& v,
                               uint64_t selector) const override;
 
   /// Group boundaries for |V| = n: sizes of each group, near-equal,

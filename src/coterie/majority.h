@@ -28,9 +28,9 @@ class MajorityCoterie : public CoterieRule {
   std::string Name() const override { return "majority"; }
   bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
   bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
-  Result<NodeSet> ReadQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> ReadQuorum(const NodeSet& v,
                              uint64_t selector) const override;
-  Result<NodeSet> WriteQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> WriteQuorum(const NodeSet& v,
                               uint64_t selector) const override;
 
   /// Majority threshold for |V| = n.
@@ -59,9 +59,9 @@ class WeightedVotingCoterie : public CoterieRule {
   std::string Name() const override { return "weighted-voting"; }
   bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
   bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
-  Result<NodeSet> ReadQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> ReadQuorum(const NodeSet& v,
                              uint64_t selector) const override;
-  Result<NodeSet> WriteQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> WriteQuorum(const NodeSet& v,
                               uint64_t selector) const override;
 
   uint32_t VoteOf(NodeId node) const;
@@ -70,7 +70,7 @@ class WeightedVotingCoterie : public CoterieRule {
  private:
   uint32_t ReadTarget(const NodeSet& v) const;
   uint32_t WriteTarget(const NodeSet& v) const;
-  Result<NodeSet> PickQuorum(const NodeSet& v, uint64_t selector,
+  [[nodiscard]] Result<NodeSet> PickQuorum(const NodeSet& v, uint64_t selector,
                              uint32_t target) const;
 
   Options options_;

@@ -28,16 +28,19 @@ std::vector<NodeSet> EnumerateMinimalQuorums(const CoterieRule& rule,
 ///     we also confirm at least one quorum exists).
 /// (Intersection of minimal quorums implies intersection of all quorums by
 /// monotonicity of the membership predicates.)
+[[nodiscard]]
 Status VerifyCoterieExhaustive(const CoterieRule& rule, const NodeSet& v);
 
 /// Randomized check for larger V: samples `samples` pairs of subsets that
 /// the predicates accept and confirms they intersect. Also verifies the
 /// quorum *function* agrees with the predicates for many selectors.
+[[nodiscard]]
 Status VerifyCoterieRandomized(const CoterieRule& rule, const NodeSet& v,
                                Rng* rng, int samples);
 
 /// Confirms ReadQuorum/WriteQuorum outputs satisfy IsReadQuorum /
 /// IsWriteQuorum for `selectors` consecutive selector values.
+[[nodiscard]]
 Status VerifyQuorumFunction(const CoterieRule& rule, const NodeSet& v,
                             uint64_t selectors);
 

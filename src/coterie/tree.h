@@ -29,9 +29,9 @@ class TreeCoterie : public CoterieRule {
   std::string Name() const override { return "tree"; }
   bool IsReadQuorum(const NodeSet& v, const NodeSet& s) const override;
   bool IsWriteQuorum(const NodeSet& v, const NodeSet& s) const override;
-  Result<NodeSet> ReadQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> ReadQuorum(const NodeSet& v,
                              uint64_t selector) const override;
-  Result<NodeSet> WriteQuorum(const NodeSet& v,
+  [[nodiscard]] Result<NodeSet> WriteQuorum(const NodeSet& v,
                               uint64_t selector) const override;
 };
 

@@ -5,6 +5,8 @@ namespace dcp::harness {
 FaultInjector::FaultInjector(protocol::Cluster* cluster, Options options)
     : cluster_(cluster),
       options_(options),
+      // Stream root: the injector owns the crash/repair process and is
+      // seeded directly from its options.  // dcp-lint: allow(raw-rng)
       rng_(options.seed),
       up_(cluster->num_nodes(), true) {
   state_ = std::make_shared<Shared>();

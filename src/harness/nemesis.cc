@@ -56,7 +56,8 @@ Scenario RandomScenario(uint64_t seed, uint32_t num_nodes,
                         sim::Time horizon) {
   Scenario s;
   s.name = "random-" + std::to_string(seed);
-  Rng rng(seed);
+  // Stream root: the nemesis scenario RNG is the seed the caller replays.
+  Rng rng(seed);  // dcp-lint: allow(raw-rng)
 
   s.churn = true;
   s.churn_mtbf = 6000 + rng.NextDouble() * 6000;
@@ -139,7 +140,8 @@ Scenario CrashPointScenario(uint64_t seed, uint32_t num_nodes,
                             sim::Time horizon) {
   Scenario s;
   s.name = "crash-point-" + std::to_string(seed);
-  Rng rng(seed);
+  // Stream root: same contract as RandomScenario above.
+  Rng rng(seed);  // dcp-lint: allow(raw-rng)
 
   // A dense train of staged crashes (most events) with ordinary crash
   // storms mixed in: the former hit nodes mid-commit, the latter keep the

@@ -13,6 +13,8 @@ using protocol::Update;
 using protocol::WriteOutcome;
 
 WorkloadDriver::WorkloadDriver(protocol::Cluster* cluster, Options options)
+    // Stream root: the workload arrival/choice RNG is seeded from its
+    // options, independent of the cluster's.  // dcp-lint: allow(raw-rng)
     : cluster_(cluster), options_(options), rng_(options.seed) {
   obs::MetricsRegistry& m = cluster_->metrics();
   write_counters_ = OpCounters{m.counter("workload.write.attempted"),

@@ -19,10 +19,12 @@ struct OpStats {
   double max_latency = 0;
 
   double success_rate() const {
-    return attempted ? double(committed) / attempted : 0;
+    return attempted ? static_cast<double>(committed) /
+                           static_cast<double>(attempted)
+                     : 0;
   }
   double mean_latency() const {
-    return committed ? total_latency / committed : 0;
+    return committed ? total_latency / static_cast<double>(committed) : 0;
   }
 };
 

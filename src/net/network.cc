@@ -116,7 +116,9 @@ bool Network::Reachable(NodeId a, NodeId b) const {
 void Network::EnsureFaultRng() {
   if (fault_rng_seeded_) return;
   fault_rng_seeded_ = true;
-  fault_rng_.Seed(rng_.Next64());
+  // Stream root: the fault stream is derived lazily from the latency RNG
+  // so a zeroed fault model stays bit-identical (see network.h).
+  fault_rng_.Seed(rng_.Next64());  // dcp-lint: allow(raw-rng)
 }
 
 void Network::set_fault_model(FaultModel model) {

@@ -209,7 +209,7 @@ class Network {
 
   sim::Simulator* sim_;
   Rng rng_;
-  Rng fault_rng_{0};
+  Rng fault_rng_{0};  // dcp-lint: allow(raw-rng) — re-seeded lazily
   bool fault_rng_seeded_ = false;
   LatencyModel latency_;
   FaultModel fault_model_;

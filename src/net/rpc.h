@@ -67,6 +67,7 @@ class RpcService {
   /// Handles a request of the given `type` from node `from`. Returning a
   /// non-OK status produces an application-level error response (still a
   /// response — NOT RPC.CallFailed).
+  [[nodiscard]]
   virtual Result<PayloadPtr> HandleRequest(NodeId from, const std::string& type,
                                            const PayloadPtr& request) = 0;
 

@@ -35,6 +35,8 @@ std::unique_ptr<coterie::CoterieRule> MakeCoterieRule(CoterieKind kind) {
 }
 
 Cluster::Cluster(ClusterOptions options)
+    // Stream root: THE root — every other stream in a simulation forks
+    // (directly or lazily) from this seed.  // dcp-lint: allow(raw-rng)
     : options_(std::move(options)), rng_(options_.seed) {
   if (options_.enable_tracing) sim_.tracer().set_enabled(true);
   rule_ = MakeCoterieRule(options_.coterie);

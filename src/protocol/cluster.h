@@ -125,28 +125,31 @@ class Cluster {
 
   // --- synchronous wrappers: run the simulation until the operation
   //     completes (events after completion stay queued). ---
+  [[nodiscard]]
   Result<WriteOutcome> WriteSync(NodeId coordinator, storage::ObjectId object,
                                  Update update);
+  [[nodiscard]]
   Result<WriteOutcome> WriteSync(NodeId coordinator, Update update) {
     return WriteSync(coordinator, 0, std::move(update));
   }
-  Result<ReadOutcome> ReadSync(NodeId coordinator,
+  [[nodiscard]] Result<ReadOutcome> ReadSync(NodeId coordinator,
                                storage::ObjectId object = 0);
-  Status CheckEpochSync(NodeId initiator);
+  [[nodiscard]] Status CheckEpochSync(NodeId initiator);
 
   /// WriteSync with bounded retries on lock conflicts (randomized
   /// backoff); the usual way clients drive writes.
-  Result<WriteOutcome> WriteSyncRetry(NodeId coordinator,
+  [[nodiscard]] Result<WriteOutcome> WriteSyncRetry(NodeId coordinator,
                                       storage::ObjectId object, Update update,
                                       int max_attempts);
+  [[nodiscard]]
   Result<WriteOutcome> WriteSyncRetry(NodeId coordinator, Update update,
                                       int max_attempts = 10) {
     return WriteSyncRetry(coordinator, 0, std::move(update), max_attempts);
   }
-  Result<ReadOutcome> ReadSyncRetry(NodeId coordinator,
+  [[nodiscard]] Result<ReadOutcome> ReadSyncRetry(NodeId coordinator,
                                     storage::ObjectId object,
                                     int max_attempts);
-  Result<ReadOutcome> ReadSyncRetry(NodeId coordinator,
+  [[nodiscard]] Result<ReadOutcome> ReadSyncRetry(NodeId coordinator,
                                     int max_attempts = 10) {
     return ReadSyncRetry(coordinator, 0, max_attempts);
   }
@@ -181,19 +184,19 @@ class Cluster {
   /// transaction anywhere): nodes sharing an epoch number agree on the
   /// epoch list and belong to it; only the highest epoch number present
   /// can assemble a write quorum from its own members.
-  Status CheckEpochInvariants() const;
+  [[nodiscard]] Status CheckEpochInvariants() const;
 
   /// All non-stale replicas at the maximum version hold identical data;
   /// stale replicas are strictly behind their desired version or awaiting
   /// ClearStale.
-  Status CheckReplicaConsistency() const;
+  [[nodiscard]] Status CheckReplicaConsistency() const;
 
   /// True iff no node currently has a prepared-but-undecided 2PC action.
   bool Quiescent() const;
 
   /// Runs the recorded history through the one-copy-serializability
   /// checker.
-  Status CheckHistory() const;
+  [[nodiscard]] Status CheckHistory() const;
 
  private:
   ClusterOptions options_;

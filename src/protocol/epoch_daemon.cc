@@ -25,6 +25,10 @@ EpochDaemon::EpochDaemon(ReplicaNode* node, EpochDaemonOptions options)
   counters_.elections_started = m.counter(p + "elections_started");
   counters_.leaderships_assumed = m.counter(p + "leaderships_assumed");
 
+  // Duplicate-safe: daemon extension handlers answer from current state
+  // (epoch polls, election probes) — re-execution returns the same view,
+  // and the runtime reply cache suppresses network-level duplicates
+  // anyway.  // dcp-lint: rpc-dedup(idempotent)
   node_->set_extension_handler(
       [this](NodeId from, const std::string& type, const PayloadPtr& req) {
         return HandleExtension(from, type, req);

@@ -50,6 +50,7 @@ class EpochDaemon {
   void Tick();
   void Campaign();
   void AssumeLeadership();
+  [[nodiscard]]
   Result<net::PayloadPtr> HandleExtension(NodeId from, const std::string& type,
                                           const net::PayloadPtr& request);
 

@@ -57,7 +57,7 @@ class HistoryRecorder {
   ///   - reads respect real time: a read started after a write was
   ///     decided returns at least that write's version.
   /// `initial_value` is the objects' shared starting contents.
-  Status CheckOneCopySerializable(
+  [[nodiscard]] Status CheckOneCopySerializable(
       const std::vector<uint8_t>& initial_value) const;
 
  private:

@@ -33,6 +33,9 @@ ReplicaNode::ReplicaNode(net::Network* network, NodeId self,
         id, storage::ReplicaStore(self, epoch_,
                                   std::move(initial_values[id])));
   }
+  // Duplicate-safe: the runtime's (src, rpc_id) reply cache resends the
+  // remembered reply instead of re-executing these non-idempotent
+  // handlers.  // dcp-lint: rpc-dedup(reply-cache)
   rpc_.set_service(this);
   if (options_.durability.enabled) {
     durable_ =

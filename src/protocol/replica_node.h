@@ -194,6 +194,7 @@ class ReplicaNode : public net::RpcService {
   store::DurableStore* durable_store() { return durable_.get(); }
 
   // net::RpcService:
+  [[nodiscard]]
   Result<net::PayloadPtr> HandleRequest(NodeId from, const std::string& type,
                                         const net::PayloadPtr& request) override;
   /// Durable-before-ack: requests whose handler mutated persistent state
@@ -217,22 +218,26 @@ class ReplicaNode : public net::RpcService {
   };
 
   // Request handlers.
+  [[nodiscard]]
   Result<net::PayloadPtr> HandleLock(NodeId from, const LockRequest& req);
-  Result<net::PayloadPtr> HandleUnlock(const UnlockRequest& req);
-  Result<net::PayloadPtr> HandleFetch(const FetchRequest& req);
+  [[nodiscard]] Result<net::PayloadPtr> HandleUnlock(const UnlockRequest& req);
+  [[nodiscard]] Result<net::PayloadPtr> HandleFetch(const FetchRequest& req);
+  [[nodiscard]]
   Result<net::PayloadPtr> HandlePrepare(const PrepareRequest& req);
-  Result<net::PayloadPtr> HandleCommit(const CommitRequest& req);
-  Result<net::PayloadPtr> HandleAbort(const AbortRequest& req);
+  [[nodiscard]] Result<net::PayloadPtr> HandleCommit(const CommitRequest& req);
+  [[nodiscard]] Result<net::PayloadPtr> HandleAbort(const AbortRequest& req);
+  [[nodiscard]]
   Result<net::PayloadPtr> HandleOutcome(const OutcomeRequest& req);
-  Result<net::PayloadPtr> HandleEpochPoll();
-  Result<net::PayloadPtr> HandlePropOffer(NodeId from,
+  [[nodiscard]] Result<net::PayloadPtr> HandleEpochPoll();
+  [[nodiscard]] Result<net::PayloadPtr> HandlePropOffer(NodeId from,
                                           const PropagationOffer& req);
-  Result<net::PayloadPtr> HandlePropData(NodeId from,
+  [[nodiscard]] Result<net::PayloadPtr> HandlePropData(NodeId from,
                                          const PropagationData& req);
 
   /// Lock one object with lease-stealing of expired, non-staged locks.
   /// Under LockPolicy::kWoundWait, `op_started` (when > 0) lets an older
   /// requester wound younger non-staged holders.
+  [[nodiscard]]
   Status TryLock(ObjectId object, const LockOwner& owner, bool exclusive,
                  sim::Time op_started = 0);
   bool LockIsStaged(const LockOwner& owner) const;

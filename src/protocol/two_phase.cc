@@ -57,14 +57,14 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
   auto run_phase2 = [state](TxOutcome outcome) {
     if (state->on_decide) state->on_decide(outcome);
 
-    sim::Simulator* sim = state->coordinator->simulator();
+    sim::Simulator* simulator = state->coordinator->simulator();
     const bool committed = outcome == TxOutcome::kCommitted;
     const uint64_t span_id = TxSpanId(state->tx);
     const char* phase2_span = committed ? "2pc.commit" : "2pc.abort";
-    sim->metrics()
+    simulator->metrics()
         .counter(committed ? "twopc.committed" : "twopc.aborted")
         ->Increment();
-    obs::EventTracer& tracer = sim->tracer();
+    obs::EventTracer& tracer = simulator->tracer();
     tracer.EndSpan("2pc", "2pc.prepare", state->tx.coordinator, span_id,
                    {{"outcome", committed ? "commit" : "abort"}});
     tracer.Instant("2pc", "2pc.decide", state->tx.coordinator,

@@ -100,7 +100,7 @@ class ReplicaStore {
   /// compatible with each other; exclusive locks (writes, epoch changes)
   /// conflict with everything. Re-entrant for the same owner (same mode).
   /// Returns Conflict on incompatibility.
-  Status Lock(const LockOwner& owner, bool exclusive);
+  [[nodiscard]] Status Lock(const LockOwner& owner, bool exclusive);
   /// Releases `owner`'s lock if held (no-op otherwise: a stale unlock
   /// from an aborted operation must not release another's lock).
   void Unlock(const LockOwner& owner);

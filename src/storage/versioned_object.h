@@ -64,14 +64,14 @@ class VersionedObject {
   /// Updates that move a replica from `from` to the current version, in
   /// application order. Fails with kNotFound if the log no longer reaches
   /// back to `from + 1` (use Snapshot() instead).
-  Result<std::vector<Update>> UpdatesSince(Version from) const;
+  [[nodiscard]] Result<std::vector<Update>> UpdatesSince(Version from) const;
 
   /// Full-state transfer: the current contents as a single total update.
   Update Snapshot() const;
 
   /// Installs a peer's updates; `first_version` is the version the first
   /// update produces. Requires first_version == version() + 1.
-  Status ApplyPropagated(Version first_version,
+  [[nodiscard]] Status ApplyPropagated(Version first_version,
                          const std::vector<Update>& updates);
 
   /// Installs a full snapshot carrying `version`.

@@ -51,17 +51,16 @@ void SimDisk::Sync(FileId f, std::function<void()> done) {
   sim_->ScheduleAt(busy_until_,
                    [this, f, flush_upto, inc, done = std::move(done)] {
                      if (inc != incarnation_) return;  // Crashed mid-flight.
-                     File& file = files_[f];
-                     uint64_t durable_end = file.base + file.durable.size();
+                     File& fl = files_[f];
+                     uint64_t durable_end = fl.base + fl.durable.size();
                      if (flush_upto > durable_end) {
                        size_t n = flush_upto - durable_end;
-                       file.durable.insert(file.durable.end(),
-                                           file.tail.begin(),
-                                           file.tail.begin() +
-                                               static_cast<ptrdiff_t>(n));
-                       file.tail.erase(file.tail.begin(),
-                                       file.tail.begin() +
-                                           static_cast<ptrdiff_t>(n));
+                       fl.durable.insert(fl.durable.end(), fl.tail.begin(),
+                                         fl.tail.begin() +
+                                             static_cast<ptrdiff_t>(n));
+                       fl.tail.erase(fl.tail.begin(),
+                                     fl.tail.begin() +
+                                         static_cast<ptrdiff_t>(n));
                        synced_bytes_->Increment(n);
                      }
                      syncs_->Increment();
@@ -114,6 +113,8 @@ void SimDisk::Crash() {
   crashes_->Increment();
   for (File& file : files_) {
     if (file.tail.empty()) continue;
+    // Stream root: the tear RNG is lazily seeded from the crash model so
+    // crash-free runs never consume it.  // dcp-lint: allow(raw-rng)
     if (!crash_rng_) crash_rng_.emplace(crash_model_.seed);
     size_t kept = 0;
     if (crash_rng_->Bernoulli(crash_model_.tear_probability)) {

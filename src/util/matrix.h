@@ -42,7 +42,7 @@ class Matrix {
 /// Solves A x = b by LU decomposition with partial pivoting.
 /// Returns kInvalidArgument on dimension mismatch and kInternal if A is
 /// (numerically) singular.
-Result<std::vector<Real>> SolveLinearSystem(const Matrix& a,
+[[nodiscard]] Result<std::vector<Real>> SolveLinearSystem(const Matrix& a,
                                             const std::vector<Real>& b);
 
 }  // namespace dcp

@@ -44,32 +44,32 @@ class Status {
   Status& operator=(Status&&) noexcept = default;
 
   /// Factory helpers, one per code.
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status Aborted(std::string msg) {
+  [[nodiscard]] static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
-  static Status Conflict(std::string msg) {
+  [[nodiscard]] static Status Conflict(std::string msg) {
     return Status(StatusCode::kConflict, std::move(msg));
   }
-  static Status StaleData(std::string msg) {
+  [[nodiscard]] static Status StaleData(std::string msg) {
     return Status(StatusCode::kStaleData, std::move(msg));
   }
-  static Status TimedOut(std::string msg) {
+  [[nodiscard]] static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
-  static Status CallFailed(std::string msg) {
+  [[nodiscard]] static Status CallFailed(std::string msg) {
     return Status(StatusCode::kCallFailed, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 

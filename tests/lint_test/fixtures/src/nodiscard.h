@@ -1,0 +1,32 @@
+// dcp_lint fixture: the nodiscard rule — Status/Result-returning APIs
+// declared in src/ headers must be [[nodiscard]] so a dropped error is a
+// compiler warning, not a silent success.
+#ifndef DCP_LINT_FIXTURE_NODISCARD_H_
+#define DCP_LINT_FIXTURE_NODISCARD_H_
+
+class Status {};
+template <typename T>
+class Result {};
+
+class Api {
+ public:
+  Status Mutate(int arg);  // dcp-lint-expect: nodiscard
+  Result<int> Fetch();  // dcp-lint-expect: nodiscard
+  virtual Result<int> Handle(int from);  // dcp-lint-expect: nodiscard
+
+  // Clean: already annotated (same line and line-above forms).
+  [[nodiscard]] Status Checked(int arg);
+  [[nodiscard]]
+  Result<int> CheckedWrapped(int from, int to, int third_parameter_for_width);
+
+  // Clean: not a by-value Status/Result return.
+  const Status& last_status() const;
+  void Reset();
+
+ private:
+  Status last_;
+};
+
+Status FreeMutation(int arg);  // dcp-lint-expect: nodiscard
+
+#endif  // DCP_LINT_FIXTURE_NODISCARD_H_

@@ -1,0 +1,36 @@
+// dcp_lint fixture: the raw-rng rule — std non-deterministic generators
+// anywhere, plus Rng stream creation/re-seeding in library code without an
+// allow(raw-rng) annotation.
+#include <cstdlib>
+#include <random>
+
+struct Rng {
+  explicit Rng(unsigned long long seed) { (void)seed; }
+  void Seed(unsigned long long seed) { (void)seed; }
+  unsigned long long Next64() { return 0; }
+};
+
+int StdGenerators() {
+  std::random_device rd;  // dcp-lint-expect: raw-rng
+  std::mt19937 gen(12345);  // dcp-lint-expect: raw-rng
+  srand(42);  // dcp-lint-expect: raw-rng
+  return std::rand();  // dcp-lint-expect: raw-rng
+}
+
+void FreshStream(unsigned long long seed) {
+  Rng rng(seed);  // dcp-lint-expect: raw-rng
+  (void)rng;
+}
+
+struct FaultModel {
+  Rng fault_rng_{0};  // dcp-lint-expect: raw-rng
+  void Ensure(Rng& base) {
+    fault_rng_.Seed(base.Next64());  // dcp-lint-expect: raw-rng
+  }
+};
+
+// Clean: moving an existing stream is not a new root.
+struct Holder {
+  explicit Holder(Rng rng) : rng_(rng) {}
+  Rng rng_;
+};

@@ -1,0 +1,33 @@
+// dcp_lint fixture: the raw-this rule — the closure of a cancellable
+// scheduled event (EventId stored into a member) must not capture raw
+// `this`: if the callback destroys the owner mid-fire, the rearm path
+// touches freed memory (the PeriodicTask use-after-free class).
+struct EventId {
+  unsigned long long seq = 0;
+};
+
+struct Simulator {
+  template <typename Fn>
+  EventId Schedule(double delay, Fn&& fn) {
+    (void)delay;
+    (void)fn;
+    return {};
+  }
+};
+
+struct RepeatingTask {
+  void Arm() {
+    pending_ = sim_->Schedule(period_, [this] { Fire(); });  // dcp-lint-expect: raw-this
+  }
+  // Clean: the id never outlives the statement's scope as a member —
+  // a local EventId is not cancellable from outside this call.
+  void FireOnce() {
+    EventId id = sim_->Schedule(period_, [this] { Fire(); });
+    (void)id;
+  }
+  void Fire() {}
+
+  Simulator* sim_ = nullptr;
+  double period_ = 1.0;
+  EventId pending_;
+};

@@ -1,0 +1,30 @@
+// dcp_lint fixture: the resolve-order rule — a kResolve append must be
+// preceded, within the same function, by the effect records it covers
+// (DESIGN.md section 8: effects first, kResolve last, so a torn WAL tail
+// that keeps the resolve also kept every effect).
+struct DurableStore {
+  void LogUpdate(int object, int version) {
+    (void)object;
+    (void)version;
+  }
+  void LogDecide(int owner, int outcome) {
+    (void)owner;
+    (void)outcome;
+  }
+  void LogResolve(int owner, int outcome) {
+    (void)owner;
+    (void)outcome;
+  }
+};
+
+void ResolveFirst(DurableStore* durable, int owner) {
+  durable->LogResolve(owner, 1);  // dcp-lint-expect: resolve-order
+  durable->LogUpdate(owner, 2);
+}
+
+// Clean: the outcome (kDecide) and the update land before the resolve.
+void EffectsThenResolve(DurableStore* durable, int owner) {
+  durable->LogDecide(owner, 1);
+  durable->LogUpdate(owner, 2);
+  durable->LogResolve(owner, 1);
+}

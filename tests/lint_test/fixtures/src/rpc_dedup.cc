@@ -1,0 +1,36 @@
+// dcp_lint fixture: the rpc-dedup rule — installing an RPC service or an
+// extension handler requires a `// dcp-lint: rpc-dedup(<mechanism>)`
+// annotation naming why duplicate delivery of a request is safe.
+struct RpcService {};
+
+struct RpcRuntime {
+  void set_service(RpcService* service) { (void)service; }
+};
+
+struct Node {
+  void set_extension_handler(int handler) { (void)handler; }
+};
+
+struct UnannotatedNode {
+  void Init() {
+    rpc_.set_service(&service_);  // dcp-lint-expect: rpc-dedup
+  }
+  RpcRuntime rpc_;
+  RpcService service_;
+};
+
+struct UnannotatedDaemon {
+  explicit UnannotatedDaemon(Node* node) {
+    node->set_extension_handler(1);  // dcp-lint-expect: rpc-dedup
+  }
+};
+
+struct AnnotatedNode {
+  void Init() {
+    // Duplicate-safe: the runtime reply cache resends the remembered
+    // reply for a duplicated request.  // dcp-lint: rpc-dedup(reply-cache)
+    rpc_.set_service(&service_);
+  }
+  RpcRuntime rpc_;
+  RpcService service_;
+};

@@ -1,0 +1,50 @@
+// dcp_lint fixture: the unordered-trace rule — iteration whose order is
+// the container's table order must not feed a trace/metric/message/WAL
+// sink directly.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Tracer {
+  void Instant(const std::string& name) { (void)name; }
+};
+Tracer& tracer();
+
+struct Wal {
+  void Append(unsigned char type, int payload) {
+    (void)type;
+    (void)payload;
+  }
+};
+
+template <typename T>
+struct FlatMap {
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    (void)fn;
+  }
+};
+
+void DumpCounts(const std::unordered_map<int, int>& counts) {
+  for (const auto& kv : counts) {  // dcp-lint-expect: unordered-trace
+    tracer().Instant(std::to_string(kv.first));
+  }
+}
+
+void DumpFlat(FlatMap<int>& table, Wal& wal) {
+  table.ForEach([&](unsigned long long k, int v) {  // dcp-lint-expect: unordered-trace
+    wal.Append(static_cast<unsigned char>(k), v);
+  });
+}
+
+// Clean: collect in table order, sort, then emit in canonical order.
+void DumpSorted(const std::unordered_map<int, int>& counts) {
+  std::vector<int> keys;
+  for (const auto& kv : counts) {
+    keys.push_back(kv.first);
+  }
+  // (sort elided) — the emitting loop walks the sorted vector.
+  for (int k : keys) {
+    tracer().Instant(std::to_string(k));
+  }
+}

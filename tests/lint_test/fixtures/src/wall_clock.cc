@@ -1,0 +1,28 @@
+// dcp_lint fixture: the wall-clock rule. Every tagged line must be
+// reported with exactly the rule id in its dcp-lint-expect comment; the
+// untagged lines must stay clean (sim-time lookalikes).
+#include <chrono>
+#include <ctime>
+
+struct Simulator {
+  double Now() const { return 0; }
+};
+
+double WallClockSoup(const Simulator& sim) {
+  auto sys = std::chrono::system_clock::now();  // dcp-lint-expect: wall-clock
+  auto mono = std::chrono::steady_clock::now();  // dcp-lint-expect: wall-clock
+  auto hi =
+      std::chrono::high_resolution_clock::now();  // dcp-lint-expect: wall-clock
+  long raw = time(nullptr);  // dcp-lint-expect: wall-clock
+  struct timespec ts;
+  clock_gettime(0, &ts);  // dcp-lint-expect: wall-clock
+  // Clean: virtual time from the simulator, and identifiers that merely
+  // contain the word "time".
+  double virtual_now = sim.Now();
+  double op_started_time = virtual_now;
+  (void)sys;
+  (void)mono;
+  (void)hi;
+  (void)raw;
+  return static_cast<double>(op_started_time);
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/dcp_lint.
+
+Each file under fixtures/src/ tags its intentional violations with a
+trailing `// dcp-lint-expect: <rule>` comment. This runner lints every
+fixture (with --root pointing at the fixtures directory, so src-only
+rules see the files as library code) and asserts that the reported
+(line, rule) pairs match the tags exactly — no missing findings, no
+extras, no off-by-one lines. suppressed.cc carries real violations under
+every suppression form and must come back completely clean.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "dcp_lint")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+_EXPECT_RE = re.compile(r"//\s*dcp-lint-expect:\s*([\w\-]+)")
+_FINDING_RE = re.compile(r"^(.+?):(\d+): warning: .* \[([\w\-]+)\]$")
+
+
+def expected_findings(path):
+    expects = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = _EXPECT_RE.search(line)
+            if m:
+                expects.add((lineno, m.group(1)))
+    return expects
+
+
+def run_lint(args):
+    proc = subprocess.run(
+        [sys.executable, LINT] + args,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = _FINDING_RE.match(line)
+        if m:
+            findings.add((int(m.group(2)), m.group(3)))
+    return proc.returncode, findings, proc.stdout + proc.stderr
+
+
+def main():
+    failures = []
+    fixture_dir = os.path.join(FIXTURES, "src")
+    names = sorted(os.listdir(fixture_dir))
+    if not names:
+        print("FAIL: no fixtures found in", fixture_dir)
+        return 1
+
+    for name in names:
+        path = os.path.join(fixture_dir, name)
+        expects = expected_findings(path)
+        rc, findings, output = run_lint(
+            ["--root", FIXTURES, os.path.join("src", name)])
+        label = f"fixture {name}"
+        if findings != expects:
+            missing = sorted(expects - findings)
+            extra = sorted(findings - expects)
+            failures.append(
+                f"{label}: finding mismatch\n"
+                f"  missing (expected but not reported): {missing}\n"
+                f"  extra (reported but not expected):   {extra}\n"
+                f"  lint output:\n{output}")
+            continue
+        want_rc = 1 if expects else 0
+        if rc != want_rc:
+            failures.append(
+                f"{label}: exit code {rc}, want {want_rc}\n{output}")
+            continue
+        print(f"PASS: {label} ({len(expects)} finding(s))")
+
+    # --rule filtering keeps only the named rule's findings.
+    wall = os.path.join(fixture_dir, "wall_clock.cc")
+    if os.path.exists(wall):
+        rc, findings, output = run_lint(
+            ["--root", FIXTURES, "--rule", "wall-clock", "src/wall_clock.cc"])
+        if any(rule != "wall-clock" for _, rule in findings) or not findings:
+            failures.append(
+                f"--rule filter: got {sorted(findings)}\n{output}")
+        else:
+            print("PASS: --rule wall-clock filter")
+
+    # Unknown rule name is a usage error, not silence.
+    rc, _, _ = run_lint(["--rule", "no-such-rule"])
+    if rc != 2:
+        failures.append(f"--rule no-such-rule: exit code {rc}, want 2")
+    else:
+        print("PASS: unknown rule rejected")
+
+    if failures:
+        print()
+        for f in failures:
+            print("FAIL:", f)
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nall lint fixture tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
