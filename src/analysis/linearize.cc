@@ -1,0 +1,491 @@
+#include "analysis/linearize.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace dcp::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mirrors storage::VersionedObject::Apply on a bare byte vector (partial
+/// writes beyond the current size grow the value zero-filled).
+void ApplyUpdate(std::vector<uint8_t>* value, const storage::Update& u) {
+  if (u.total) {
+    *value = u.bytes;
+    return;
+  }
+  uint64_t end = u.offset + u.bytes.size();
+  if (end > value->size()) value->resize(end, 0);
+  std::copy(u.bytes.begin(), u.bytes.end(),
+            value->begin() + static_cast<ptrdiff_t>(u.offset));
+}
+
+/// The slice of `value` a read observed: the whole value, or
+/// [read_offset, read_offset + n) zero-filled past the end.
+std::vector<uint8_t> ObservedSlice(const std::vector<uint8_t>& value,
+                                   const ClientOp& read) {
+  if (read.read_full) return value;
+  std::vector<uint8_t> out(read.data.size(), 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint64_t pos = read.read_offset + i;
+    if (pos < value.size()) out[i] = value[pos];
+  }
+  return out;
+}
+
+std::string HexPreview(const std::vector<uint8_t>& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  size_t n = std::min<size_t>(bytes.size(), 16);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[bytes[i] >> 4]);
+    out.push_back(kDigits[bytes[i] & 0xF]);
+  }
+  if (bytes.size() > n) out += "..";
+  return out;
+}
+
+/// One object's sub-history prepared for the search.
+struct Entry {
+  ClientOp op;        ///< Copy; counterexamples outlive the input history.
+  double ret = kInf;  ///< +inf for open intervals.
+  bool is_write = false;
+  bool required = false;  ///< Acked ops must linearize; open writes may.
+};
+
+/// Wing-Gong search outcome for one object.
+struct ObjectResult {
+  enum class Kind { kLinearizable, kViolation, kInconclusive };
+  Kind kind = Kind::kLinearizable;
+  std::string reason;
+  uint64_t states = 0;
+};
+
+std::vector<Entry> BuildEntries(const std::vector<ClientOp>& ops,
+                                storage::ObjectId object) {
+  std::vector<Entry> entries;
+  for (const ClientOp& op : ops) {
+    if (op.object != object) continue;
+    // Definite failures never took effect; reads that returned nothing
+    // constrain nothing. Both drop out of the order entirely.
+    if (op.outcome == ClientOp::Outcome::kFailed) continue;
+    if (op.kind == ClientOp::Kind::kRead &&
+        op.outcome != ClientOp::Outcome::kOk) {
+      continue;
+    }
+    Entry e;
+    e.op = op;
+    e.ret = op.outcome == ClientOp::Outcome::kOpen ? kInf : op.returned_at;
+    e.is_write = op.kind == ClientOp::Kind::kWrite;
+    e.required = op.outcome == ClientOp::Outcome::kOk;
+    entries.push_back(std::move(e));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.op.invoked_at != b.op.invoked_at) {
+                       return a.op.invoked_at < b.op.invoked_at;
+                     }
+                     return a.op.id < b.op.id;
+                   });
+  return entries;
+}
+
+/// The memoized Wing-Gong search over one object's entries. The model is
+/// the versioned object itself: every linearized write bumps the write
+/// count (the client-visible version) and patches the byte value, so an
+/// acked write is pinned to the slot its acked version names and an acked
+/// read pins how many writes precede it. That collapses the search to
+/// near-linear on valid histories; memoization on (linearized set, value)
+/// bounds the adversarial cases.
+class ObjectSearch {
+ public:
+  ObjectSearch(const std::vector<Entry>& entries,
+               const std::vector<uint8_t>& initial_value, uint64_t max_states)
+      : entries_(entries),
+        initial_value_(initial_value),
+        max_states_(max_states) {}
+
+  ObjectResult Run() {
+    const size_t n = entries_.size();
+    num_required_ = 0;
+    for (const Entry& e : entries_) num_required_ += e.required ? 1u : 0u;
+
+    State cur;
+    cur.applied.assign((n + 63) / 64, 0);
+    cur.value = initial_value_;
+
+    std::vector<Choice> stack;
+    ObjectResult result;
+    for (;;) {
+      bool dead = !AbsorbAndPrune(&cur);
+      if (!dead && cur.required_done == num_required_) {
+        result.kind = ObjectResult::Kind::kLinearizable;
+        result.states = states_;
+        return result;
+      }
+      if (!dead) {
+        if (states_ >= max_states_) {
+          result.kind = ObjectResult::Kind::kInconclusive;
+          result.reason = "search budget exhausted after " +
+                          std::to_string(states_) + " states";
+          result.states = states_;
+          return result;
+        }
+        if (!memo_.insert(Key(cur)).second) {
+          dead = true;  // Revisited (set, value): already a dead end.
+        } else {
+          ++states_;
+        }
+      }
+      if (!dead) {
+        std::vector<size_t> choices = WriteChoices(cur);
+        if (choices.empty()) {
+          NoteStuck(cur);
+          dead = true;
+        } else {
+          stack.push_back(Choice{cur, std::move(choices), 0});
+        }
+      }
+      // Advance to the next unexplored branch (depth-first).
+      bool advanced = false;
+      while (!stack.empty()) {
+        Choice& top = stack.back();
+        if (top.next < top.writes.size()) {
+          cur = top.state;
+          ApplyWrite(&cur, top.writes[top.next]);
+          ++top.next;
+          advanced = true;
+          break;
+        }
+        stack.pop_back();
+      }
+      if (!advanced) {
+        result.kind = ObjectResult::Kind::kViolation;
+        result.reason = best_reason_.empty()
+                            ? "no linearization of the sub-history exists"
+                            : best_reason_;
+        result.states = states_;
+        return result;
+      }
+    }
+  }
+
+ private:
+  struct State {
+    std::vector<uint64_t> applied;
+    std::vector<uint8_t> value;
+    uint64_t writes_done = 0;
+    size_t required_done = 0;
+  };
+  struct Choice {
+    State state;                 ///< Post-absorption state before branching.
+    std::vector<size_t> writes;  ///< Entry indices still to try.
+    size_t next = 0;
+  };
+
+  bool IsApplied(const State& s, size_t i) const {
+    return (s.applied[i >> 6] >> (i & 63)) & 1;
+  }
+  void MarkApplied(State* s, size_t i) const {
+    s->applied[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  /// Earliest response time among unapplied entries; candidates must be
+  /// invoked at or before it (Wing-Gong minimality).
+  double MinReturn(const State& s) const {
+    double min_ret = kInf;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!IsApplied(s, i)) min_ret = std::min(min_ret, entries_[i].ret);
+    }
+    return min_ret;
+  }
+
+  void ApplyWrite(State* s, size_t i) {
+    MarkApplied(s, i);
+    ApplyUpdate(&s->value, entries_[i].op.update);
+    ++s->writes_done;
+    if (entries_[i].required) ++s->required_done;
+  }
+
+  /// Greedily linearizes every matching candidate read (reads mutate
+  /// nothing, so absorbing one that matches is always safe) and applies
+  /// the monotone prunes. Returns false when this branch is dead.
+  bool AbsorbAndPrune(State* s) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      double min_ret = MinReturn(*s);
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        if (IsApplied(*s, i)) continue;
+        const Entry& e = entries_[i];
+        if (e.is_write) {
+          // An acked write's slot is fixed; once the write count passes
+          // it, no extension of this branch can ever place it.
+          if (e.required && e.op.version <= s->writes_done) {
+            NoteDead(*s, "write " + e.op.Describe() + " was acked version " +
+                             std::to_string(e.op.version) + " but " +
+                             std::to_string(s->writes_done) +
+                             " writes are already ordered before it");
+            return false;
+          }
+          continue;
+        }
+        // Reads: version pins the number of preceding writes.
+        if (e.op.version < s->writes_done) {
+          NoteDead(*s, "stale read: " + e.op.Describe() +
+                           " observed version " +
+                           std::to_string(e.op.version) + " but " +
+                           std::to_string(s->writes_done) +
+                           " writes are already ordered before it");
+          return false;
+        }
+        if (e.op.version == s->writes_done) {
+          std::vector<uint8_t> expect = ObservedSlice(s->value, e.op);
+          if (expect != e.op.data) {
+            NoteDead(*s, "read " + e.op.Describe() +
+                             " does not match the replay of the " +
+                             std::to_string(s->writes_done) +
+                             " writes ordered before it (expected " +
+                             HexPreview(expect) + ", observed " +
+                             HexPreview(e.op.data) + ")");
+            return false;
+          }
+          if (e.op.invoked_at <= min_ret) {
+            MarkApplied(s, i);
+            ++s->required_done;
+            progress = true;
+            break;  // Recompute min_ret with this read settled.
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Writes that may legally be linearized next: any candidate open write,
+  /// and the candidate acked write whose version names the next slot.
+  std::vector<size_t> WriteChoices(const State& s) const {
+    double min_ret = MinReturn(s);
+    std::vector<size_t> acked;
+    std::vector<size_t> open;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (IsApplied(s, i)) continue;
+      const Entry& e = entries_[i];
+      if (!e.is_write || e.op.invoked_at > min_ret) continue;
+      if (e.required) {
+        if (e.op.version == s.writes_done + 1) acked.push_back(i);
+      } else {
+        open.push_back(i);
+      }
+    }
+    acked.insert(acked.end(), open.begin(), open.end());
+    return acked;
+  }
+
+  std::string Key(const State& s) const {
+    std::string key;
+    key.reserve(s.applied.size() * 8 + s.value.size());
+    for (uint64_t word : s.applied) {
+      for (int b = 0; b < 8; ++b) {
+        key.push_back(static_cast<char>((word >> (b * 8)) & 0xFF));
+      }
+    }
+    key.append(reinterpret_cast<const char*>(s.value.data()), s.value.size());
+    return key;
+  }
+
+  void NoteDead(const State& s, std::string reason) {
+    if (s.required_done >= best_depth_ || best_reason_.empty()) {
+      best_depth_ = s.required_done;
+      best_reason_ = std::move(reason);
+    }
+  }
+
+  void NoteStuck(const State& s) {
+    std::string first;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!IsApplied(s, i) && entries_[i].required) {
+        first = entries_[i].op.Describe();
+        break;
+      }
+    }
+    NoteDead(s, "no write can be linearized next but required ops remain "
+                "(first: " +
+                    first + ")");
+  }
+
+  const std::vector<Entry>& entries_;
+  const std::vector<uint8_t>& initial_value_;
+  uint64_t max_states_;
+  size_t num_required_ = 0;
+  uint64_t states_ = 0;
+  std::unordered_set<std::string> memo_;
+  /// Diagnostics: the dead-end reason seen at the deepest linearized
+  /// prefix (the most plausible "why").
+  size_t best_depth_ = 0;
+  std::string best_reason_;
+};
+
+ObjectResult CheckObject(const std::vector<Entry>& entries,
+                         const AuditOptions& options) {
+  ObjectSearch search(entries, options.initial_value, options.max_states);
+  return search.Run();
+}
+
+/// Shrinks a violating sub-history: repeatedly drop any op whose removal
+/// keeps the history violating, to a local fixpoint. The original
+/// full-history diagnosis is kept — the shrunken history's own dead-end
+/// reason is usually a less specific "stuck" once context ops are gone.
+std::vector<Entry> MinimizeViolation(std::vector<Entry> entries,
+                                     const AuditOptions& options,
+                                     uint64_t* states) {
+  uint32_t checks = 0;
+  bool changed = true;
+  while (changed && checks < options.max_minimize_checks) {
+    changed = false;
+    for (size_t i = 0;
+         i < entries.size() && checks < options.max_minimize_checks;) {
+      std::vector<Entry> trial = entries;
+      trial.erase(trial.begin() + static_cast<ptrdiff_t>(i));
+      ObjectResult r = CheckObject(trial, options);
+      ++checks;
+      *states += r.states;
+      if (r.kind == ObjectResult::Kind::kViolation) {
+        entries = std::move(trial);
+        changed = true;
+        // Same index now names the next op; don't advance.
+      } else {
+        ++i;
+      }
+    }
+  }
+  return entries;
+}
+
+/// Linear-time session-guarantee checks (per client, per object).
+AuditVerdict CheckSessionModes(const std::vector<ClientOp>& ops,
+                               const AuditOptions& options) {
+  AuditVerdict verdict;
+  bool check_ryw = options.mode == AuditMode::kReadYourWrites ||
+                   options.mode == AuditMode::kSession;
+  bool check_mono = options.mode == AuditMode::kMonotonicReads ||
+                    options.mode == AuditMode::kSession;
+
+  // Client -> ops, invocation-ordered.
+  std::map<uint64_t, std::vector<const ClientOp*>> by_client;
+  for (const ClientOp& op : ops) by_client[op.client].push_back(&op);
+  for (auto& [client, list] : by_client) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const ClientOp* a, const ClientOp* b) {
+                       return a->invoked_at < b->invoked_at;
+                     });
+    // object -> (highest acked-write version, the op) / last read.
+    std::map<storage::ObjectId, std::pair<storage::Version, const ClientOp*>>
+        acked_writes;
+    std::map<storage::ObjectId, const ClientOp*> last_read;
+    for (const ClientOp* op : list) {
+      if (op->outcome != ClientOp::Outcome::kOk) continue;
+      if (op->kind == ClientOp::Kind::kWrite) {
+        auto& slot = acked_writes[op->object];
+        if (slot.second == nullptr || op->version > slot.first) {
+          slot = {op->version, op};
+        }
+        continue;
+      }
+      if (check_ryw) {
+        auto it = acked_writes.find(op->object);
+        // Only writes acked before this read was invoked oblige it.
+        if (it != acked_writes.end() &&
+            it->second.second->returned_at <= op->invoked_at &&
+            op->version < it->second.first) {
+          verdict.ok = false;
+          verdict.explanation =
+              "read-your-writes violation: client " + std::to_string(client) +
+              "'s " + op->Describe() + " observed version " +
+              std::to_string(op->version) + " after its own " +
+              it->second.second->Describe() + " was acked as version " +
+              std::to_string(it->second.first);
+          verdict.counterexample = {*it->second.second, *op};
+          return verdict;
+        }
+      }
+      if (check_mono) {
+        auto it = last_read.find(op->object);
+        if (it != last_read.end() && op->version < it->second->version) {
+          verdict.ok = false;
+          verdict.explanation =
+              "monotonic-reads violation: client " + std::to_string(client) +
+              "'s " + op->Describe() + " went backwards from " +
+              it->second->Describe();
+          verdict.counterexample = {*it->second, *op};
+          return verdict;
+        }
+        last_read[op->object] = op;
+      }
+    }
+  }
+  verdict.ok = true;
+  return verdict;
+}
+
+}  // namespace
+
+std::string AuditVerdict::ToString() const {
+  if (ok) return "linearizable";
+  std::ostringstream os;
+  os << (inconclusive ? "INCONCLUSIVE: " : "VIOLATION: ") << explanation;
+  for (const ClientOp& op : counterexample) {
+    os << "\n  " << op.Describe();
+  }
+  return os.str();
+}
+
+AuditVerdict AuditOps(const std::vector<ClientOp>& ops,
+                      const AuditOptions& options) {
+  if (options.mode != AuditMode::kLinearizable) {
+    return CheckSessionModes(ops, options);
+  }
+
+  AuditVerdict verdict;
+  // Wing-Gong partition: objects are independent sub-histories.
+  std::vector<storage::ObjectId> objects;
+  for (const ClientOp& op : ops) objects.push_back(op.object);
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+
+  for (storage::ObjectId object : objects) {
+    std::vector<Entry> entries = BuildEntries(ops, object);
+    ObjectResult result = CheckObject(entries, options);
+    verdict.states_explored += result.states;
+    if (result.kind == ObjectResult::Kind::kLinearizable) continue;
+    verdict.ok = false;
+    if (result.kind == ObjectResult::Kind::kInconclusive) {
+      verdict.inconclusive = true;
+      verdict.explanation =
+          "object " + std::to_string(object) + ": " + result.reason;
+      return verdict;
+    }
+    if (options.minimize_counterexample) {
+      entries = MinimizeViolation(std::move(entries), options,
+                                  &verdict.states_explored);
+    }
+    verdict.explanation =
+        "object " + std::to_string(object) + ": " + result.reason;
+    for (const Entry& e : entries) verdict.counterexample.push_back(e.op);
+    return verdict;
+  }
+  verdict.ok = true;
+  return verdict;
+}
+
+AuditVerdict AuditHistory(const ClientHistory& history,
+                          const AuditOptions& options) {
+  return AuditOps(history.ops(), options);
+}
+
+}  // namespace dcp::analysis

@@ -1,0 +1,90 @@
+#ifndef DCP_ANALYSIS_LINEARIZE_H_
+#define DCP_ANALYSIS_LINEARIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/client_history.h"
+
+namespace dcp::analysis {
+
+/// Which client-observable consistency criterion to audit.
+///
+/// kLinearizable is the paper's one-copy-serializability promise plus
+/// real-time order, checked from the *outside*: there must exist a total
+/// order of operations, each placed inside its invocation/response
+/// interval, under which every read returns exactly the bytes the ordered
+/// writes produce. The weaker session modes are useful when a run is
+/// deliberately allowed to serve relaxed reads (e.g. future follower
+/// reads): they check per-session obligations only and are linear-time.
+enum class AuditMode {
+  kLinearizable,    ///< Full Wing-Gong search over the versioned model.
+  kReadYourWrites,  ///< A session's reads see its own acked writes.
+  kMonotonicReads,  ///< A session's read versions never go backwards.
+  kSession,         ///< Both session guarantees (still not linearizability).
+};
+
+struct AuditOptions {
+  AuditMode mode = AuditMode::kLinearizable;
+  /// Shared starting contents of every object (ClusterOptions::initial_value).
+  std::vector<uint8_t> initial_value;
+  /// Memoized-state budget for the linearizability search. Exhausting it
+  /// makes the verdict inconclusive rather than wrong.
+  uint64_t max_states = 500000;
+  /// Shrink a violating history to a minimal violating sub-history before
+  /// reporting (delta-debugging over ops; each probe re-runs the search).
+  bool minimize_counterexample = true;
+  /// Upper bound on minimization probes (each is a full re-check of a
+  /// shrinking sub-history).
+  uint32_t max_minimize_checks = 4000;
+};
+
+struct AuditVerdict {
+  /// True iff the history satisfies the audited criterion.
+  bool ok = false;
+  /// True iff the search budget ran out before a verdict (ok is then
+  /// false but nothing is proven). Does not happen at harness scales.
+  bool inconclusive = false;
+  /// Human-readable reason for a failure (empty when ok).
+  std::string explanation;
+  /// A minimized violating sub-history, invocation-ordered (empty when
+  /// ok). Replaying just these ops through the checker reproduces the
+  /// violation.
+  std::vector<ClientOp> counterexample;
+  /// Memoized states visited across all objects and minimization probes.
+  uint64_t states_explored = 0;
+
+  /// "linearizable", "INCONCLUSIVE: ...", or "VIOLATION: ..." plus the
+  /// counterexample ops, one per line.
+  std::string ToString() const;
+};
+
+/// Audits `history` under `options`. Linearizability uses the Wing-Gong
+/// partition (objects are independent) and a memoized search over the
+/// versioned-object model:
+///
+///  - acked writes are pinned to the serial slot their acked version
+///    names; acked reads pin the number of writes that precede them;
+///  - a read must return exactly the replayed bytes of the writes ordered
+///    before it — so a partial write to [o, o+n) is ordered against every
+///    read observing an overlapping range, while disjoint-range history
+///    anomalies still surface through the byte-exact replay;
+///  - open-interval (possibly-committed) writes may be linearized at any
+///    point after invocation or dropped entirely, the in-doubt 2PC
+///    roll-forward/roll-back freedom;
+///  - reads that never returned impose no constraint and are ignored;
+///    definite failures are excluded from the order.
+///
+/// Real-time precedence (op A returned before op B was invoked => A is
+/// ordered before B) is enforced by Wing-Gong candidate selection.
+[[nodiscard]] AuditVerdict AuditHistory(const ClientHistory& history,
+                                        const AuditOptions& options);
+
+/// Same, over a raw op list (fixtures, JSONL imports).
+[[nodiscard]] AuditVerdict AuditOps(const std::vector<ClientOp>& ops,
+                                    const AuditOptions& options);
+
+}  // namespace dcp::analysis
+
+#endif  // DCP_ANALYSIS_LINEARIZE_H_

@@ -1,6 +1,8 @@
 #include "harness/workload.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "baseline/accessible_copies.h"
 #include "baseline/dynamic_voting.h"
@@ -12,6 +14,28 @@ using protocol::ReadOutcome;
 using protocol::Update;
 using protocol::WriteOutcome;
 
+namespace {
+
+/// Whether `s` proves the operation did not take effect. Lock conflicts,
+/// decided aborts, and rejected requests are definite; timeouts, lost
+/// RPCs, and unreachable quorums leave the outcome in doubt (the
+/// operation may have committed behind the error), so the history keeps
+/// those open-interval.
+bool IsDefiniteFailure(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAborted:
+    case StatusCode::kConflict:
+    case StatusCode::kStaleData:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 WorkloadDriver::WorkloadDriver(protocol::Cluster* cluster, Options options)
     // Stream root: the workload arrival/choice RNG is seeded from its
     // options, independent of the cluster's.  // dcp-lint: allow(raw-rng)
@@ -20,10 +44,12 @@ WorkloadDriver::WorkloadDriver(protocol::Cluster* cluster, Options options)
   write_counters_ = OpCounters{m.counter("workload.write.attempted"),
                                m.counter("workload.write.committed"),
                                m.counter("workload.write.failed"),
+                               m.counter("workload.write.timed_out"),
                                m.histogram("workload.write.latency")};
   read_counters_ = OpCounters{m.counter("workload.read.attempted"),
                               m.counter("workload.read.committed"),
                               m.counter("workload.read.failed"),
+                              m.counter("workload.read.timed_out"),
                               m.histogram("workload.read.latency")};
   state_ = std::make_shared<Shared>();
   ArmNext();
@@ -45,6 +71,49 @@ NodeId WorkloadDriver::PickLiveCoordinator() {
   return up.NthMember(static_cast<uint32_t>(rng_.Uniform(up.Size())));
 }
 
+uint64_t WorkloadDriver::AcquireClient() {
+  for (size_t i = 0; i < client_busy_.size(); ++i) {
+    if (!client_busy_[i]) {
+      client_busy_[i] = true;
+      return i;
+    }
+  }
+  client_busy_.push_back(true);
+  return client_busy_.size() - 1;
+}
+
+void WorkloadDriver::FreeClient(uint64_t client) {
+  if (client < client_busy_.size()) client_busy_[client] = false;
+}
+
+void WorkloadDriver::ArmTimeout(std::shared_ptr<OpState> op, bool is_write,
+                                uint64_t op_id, uint64_t span_id,
+                                NodeId coordinator) {
+  if (options_.op_timeout <= 0) return;
+  std::shared_ptr<Shared> state = state_;
+  analysis::ClientHistory* history = options_.client_history;
+  sim::Simulator* simp = &cluster_->simulator();
+  obs::EventTracer* tracer = &cluster_->tracer();
+  simp->Schedule(options_.op_timeout, [this, state, op, history, simp, tracer,
+                                       is_write, op_id, span_id, coordinator] {
+    if (op->settled) return;
+    op->settled = true;  // A response landing later is ignored.
+    if (history) history->Abandon(op_id, simp->Now());
+    tracer->EndSpan("client", is_write ? "write" : "read",
+                    static_cast<uint32_t>(coordinator), span_id,
+                    {{"outcome", "abandoned"}});
+    if (state->stopped) return;
+    FreeClient(op->client);
+    if (is_write) {
+      ++writes_.timed_out;
+      write_counters_.timed_out->Increment();
+    } else {
+      ++reads_.timed_out;
+      read_counters_.timed_out->Increment();
+    }
+  });
+}
+
 void WorkloadDriver::Issue() {
   NodeId coordinator = PickLiveCoordinator();
   if (coordinator == kInvalidNode) return;  // Whole cluster down.
@@ -52,69 +121,132 @@ void WorkloadDriver::Issue() {
       rng_.Uniform(std::max(1u, cluster_->options().num_objects)));
   double started = cluster_->simulator().Now();
   std::shared_ptr<Shared> state = state_;
+  analysis::ClientHistory* history = options_.client_history;
+  sim::Simulator* simp = &cluster_->simulator();
+  obs::EventTracer* tracer = &cluster_->tracer();
 
-  auto write_done = [this, state, started](Result<WriteOutcome> r) {
-    if (state->stopped) return;
-    double latency = cluster_->simulator().Now() - started;
-    if (r.ok()) {
-      ++writes_.committed;
-      writes_.total_latency += latency;
-      writes_.max_latency = std::max(writes_.max_latency, latency);
-      write_counters_.committed->Increment();
-      write_counters_.latency->Observe(latency);
-    } else {
-      ++writes_.failed;
-      write_counters_.failed->Increment();
-    }
-  };
-  auto read_done = [this, state, started](Result<ReadOutcome> r) {
-    if (state->stopped) return;
-    double latency = cluster_->simulator().Now() - started;
-    if (r.ok()) {
-      ++reads_.committed;
-      reads_.total_latency += latency;
-      reads_.max_latency = std::max(reads_.max_latency, latency);
-      read_counters_.committed->Increment();
-      read_counters_.latency->Observe(latency);
-    } else {
-      ++reads_.failed;
-      read_counters_.failed->Increment();
-    }
-  };
+  auto op = std::make_shared<OpState>();
+  op->client = AcquireClient();
+  uint64_t span_id = span_seq_++;
 
   if (rng_.Bernoulli(options_.write_fraction)) {
     ++writes_.attempted;
     write_counters_.attempted->Increment();
+
+    Update update;
     switch (options_.stack) {
       case Stack::kDynamicCoterie:
-        cluster_->Write(coordinator, object,
-                        Update::Partial(rng_.Uniform(options_.object_size),
-                                        {uint8_t(counter_++)}),
-                        write_done);
+      case Stack::kAccessibleCopies:
+        update = Update::Partial(rng_.Uniform(options_.object_size),
+                                 {uint8_t(counter_++)});
         break;
       case Stack::kStatic:
-        baseline::StartStaticWrite(
-            &cluster_->node(coordinator),
-            std::vector<uint8_t>(options_.object_size, uint8_t(counter_++)),
-            write_done);
-        break;
       case Stack::kDynamicVoting:
-        baseline::StartDynamicVotingWrite(
-            &cluster_->node(coordinator),
-            std::vector<uint8_t>(options_.object_size, uint8_t(counter_++)),
-            write_done);
-        break;
-      case Stack::kAccessibleCopies:
-        baseline::StartAccessibleWrite(
-            &cluster_->node(coordinator),
-            Update::Partial(rng_.Uniform(options_.object_size),
-                            {uint8_t(counter_++)}),
-            write_done);
+        update = Update::Total(
+            std::vector<uint8_t>(options_.object_size, uint8_t(counter_++)));
         break;
     }
+    uint64_t op_id =
+        history ? history->InvokeWrite(op->client, object, update, started)
+                : 0;
+    tracer->BeginSpan("client", "write", static_cast<uint32_t>(coordinator),
+                      span_id,
+                      {{"object", std::to_string(object)},
+                       {"client", std::to_string(op->client)}});
+
+    // The history/tracer settlement runs even after Stop(): it only
+    // touches objects that outlive the driver (captured by pointer), so
+    // ops in flight at shutdown still settle instead of staying open.
+    // Stats and client slots are driver state and stay behind the
+    // `stopped` guard.
+    auto write_done = [this, state, op, history, simp, tracer, started, op_id,
+                       span_id, coordinator](Result<WriteOutcome> r) {
+      if (op->settled) return;  // Abandoned: the client never saw this.
+      op->settled = true;
+      double now = simp->Now();
+      if (history) {
+        if (r.ok()) {
+          history->ReturnWrite(op_id, now, r.value().version);
+        } else {
+          history->Fail(op_id, now, IsDefiniteFailure(r.status()));
+        }
+      }
+      tracer->EndSpan("client", "write", static_cast<uint32_t>(coordinator),
+                      span_id,
+                      {{"outcome", r.ok() ? "ok" : r.status().ToString()}});
+      if (state->stopped) return;
+      FreeClient(op->client);
+      double latency = now - started;
+      if (r.ok()) {
+        ++writes_.committed;
+        writes_.total_latency += latency;
+        writes_.max_latency = std::max(writes_.max_latency, latency);
+        write_counters_.committed->Increment();
+        write_counters_.latency->Observe(latency);
+      } else {
+        ++writes_.failed;
+        write_counters_.failed->Increment();
+      }
+    };
+
+    switch (options_.stack) {
+      case Stack::kDynamicCoterie:
+        cluster_->Write(coordinator, object, update, write_done);
+        break;
+      case Stack::kStatic:
+        baseline::StartStaticWrite(&cluster_->node(coordinator), update.bytes,
+                                   write_done);
+        break;
+      case Stack::kDynamicVoting:
+        baseline::StartDynamicVotingWrite(&cluster_->node(coordinator),
+                                          update.bytes, write_done);
+        break;
+      case Stack::kAccessibleCopies:
+        baseline::StartAccessibleWrite(&cluster_->node(coordinator), update,
+                                       write_done);
+        break;
+    }
+    ArmTimeout(op, /*is_write=*/true, op_id, span_id, coordinator);
   } else {
     ++reads_.attempted;
     read_counters_.attempted->Increment();
+    uint64_t op_id =
+        history ? history->InvokeRead(op->client, object, started) : 0;
+    tracer->BeginSpan("client", "read", static_cast<uint32_t>(coordinator),
+                      span_id,
+                      {{"object", std::to_string(object)},
+                       {"client", std::to_string(op->client)}});
+
+    auto read_done = [this, state, op, history, simp, tracer, started, op_id,
+                      span_id, coordinator](Result<ReadOutcome> r) {
+      if (op->settled) return;  // Abandoned: the client never saw this.
+      op->settled = true;
+      double now = simp->Now();
+      if (history) {
+        if (r.ok()) {
+          history->ReturnRead(op_id, now, r.value().version, r.value().data);
+        } else {
+          history->Fail(op_id, now, IsDefiniteFailure(r.status()));
+        }
+      }
+      tracer->EndSpan("client", "read", static_cast<uint32_t>(coordinator),
+                      span_id,
+                      {{"outcome", r.ok() ? "ok" : r.status().ToString()}});
+      if (state->stopped) return;
+      FreeClient(op->client);
+      double latency = now - started;
+      if (r.ok()) {
+        ++reads_.committed;
+        reads_.total_latency += latency;
+        reads_.max_latency = std::max(reads_.max_latency, latency);
+        read_counters_.committed->Increment();
+        read_counters_.latency->Observe(latency);
+      } else {
+        ++reads_.failed;
+        read_counters_.failed->Increment();
+      }
+    };
+
     switch (options_.stack) {
       case Stack::kDynamicCoterie:
         cluster_->Read(coordinator, object, read_done);
@@ -131,6 +263,7 @@ void WorkloadDriver::Issue() {
                                       read_done);
         break;
     }
+    ArmTimeout(op, /*is_write=*/false, op_id, span_id, coordinator);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/client_history.h"
 #include "protocol/cluster.h"
 #include "util/random.h"
 
@@ -15,6 +16,10 @@ struct OpStats {
   uint64_t attempted = 0;
   uint64_t committed = 0;
   uint64_t failed = 0;
+  /// Client-side abandonments (Options::op_timeout): the op was still in
+  /// flight when the client gave up, so it is neither committed nor
+  /// failed — it *may* have taken effect (open interval in the history).
+  uint64_t timed_out = 0;
   double total_latency = 0;  ///< Simulated time, committed ops only.
   double max_latency = 0;
 
@@ -48,6 +53,23 @@ class WorkloadDriver {
     uint64_t seed = 2;
     uint64_t object_size = 32;  ///< Partial writes patch 1 byte in this.
     Stack stack = Stack::kDynamicCoterie;
+
+    /// When non-null, every issued operation is recorded as a
+    /// client-observable op (analysis/client_history.h): invocation at
+    /// issue time, settlement when the response arrives. Ops still in
+    /// flight when the run ends stay open-interval, as do indefinite
+    /// failures (timeouts, unreachable coordinators). Recording draws no
+    /// randomness and schedules nothing, so attaching a recorder never
+    /// perturbs a seeded run. The recorder must outlive the simulation.
+    analysis::ClientHistory* client_history = nullptr;
+
+    /// When > 0, an operation still unresolved after this much sim time
+    /// is abandoned by the client: counted in OpStats::timed_out and
+    /// recorded open-interval (possibly committed — the checker treats it
+    /// as concurrent with everything after its invocation). A response
+    /// arriving after abandonment is ignored; the client never saw it.
+    /// 0 disables (no extra events are scheduled).
+    double op_timeout = 0;
   };
 
   /// Starts issuing operations immediately; runs until destroyed/stopped.
@@ -58,7 +80,9 @@ class WorkloadDriver {
 
   /// Stops issuing. Already-queued arrival events (and completions of
   /// in-flight operations) become stat no-ops — calling Stop() before any
-  /// queued event has fired neutralizes the whole schedule.
+  /// queued event has fired neutralizes the whole schedule. History
+  /// recording still settles in-flight ops after Stop(): the attached
+  /// ClientHistory and the cluster outlive the driver by contract.
   void Stop() {
     if (state_) state_->stopped = true;
   }
@@ -75,6 +99,15 @@ class WorkloadDriver {
     bool stopped = false;
   };
 
+  /// Per-operation shared state: which client session the op occupies and
+  /// whether its outcome is settled (response recorded OR abandoned).
+  /// Both the completion callback and the optional timeout event hold it;
+  /// whoever fires second sees `settled` and backs off.
+  struct OpState {
+    uint64_t client = 0;
+    bool settled = false;
+  };
+
   /// Registry handles mirroring one OpStats ("workload.<kind>.*"), so the
   /// client-observed view lands in metrics exports alongside the protocol
   /// counters.
@@ -82,12 +115,25 @@ class WorkloadDriver {
     obs::Counter* attempted;
     obs::Counter* committed;
     obs::Counter* failed;
+    obs::Counter* timed_out;
     obs::Histogram* latency;
   };
 
   void ArmNext();
   void Issue();
   NodeId PickLiveCoordinator();
+
+  /// Schedules the client-side give-up event for an in-flight op (no-op
+  /// when Options::op_timeout is 0).
+  void ArmTimeout(std::shared_ptr<OpState> op, bool is_write, uint64_t op_id,
+                  uint64_t span_id, NodeId coordinator);
+
+  /// Client sessions are slots: each in-flight op occupies the
+  /// lowest-numbered free slot and releases it on settlement, keeping one
+  /// session's ops sequential (a session guarantee prerequisite) without
+  /// drawing randomness.
+  uint64_t AcquireClient();
+  void FreeClient(uint64_t client);
 
   protocol::Cluster* cluster_;
   Options options_;
@@ -98,6 +144,8 @@ class WorkloadDriver {
   OpCounters write_counters_;
   OpCounters read_counters_;
   uint64_t counter_ = 0;
+  uint64_t span_seq_ = 0;  ///< Trace span correlation ids ("client" cat).
+  std::vector<bool> client_busy_;
 };
 
 }  // namespace dcp::harness

@@ -98,7 +98,11 @@ void ReplicaNode::Recover() {
   // could lock around the undecided write and return the old version
   // (a stale read the history checker rightly rejects).
   for (const auto& [key, staged] : staged_) {
-    RelockStaged(staged);
+    if (options_.mutation_hooks.skip_relock_staged) {
+      simulator()->metrics().counter("mutation.relock_skipped")->Increment();
+    } else {
+      RelockStaged(staged);
+    }
     ArmTerminationTimer(staged.owner);
   }
   if (HasPendingPropagation()) {
@@ -358,6 +362,29 @@ Result<PayloadPtr> ReplicaNode::HandleLock(NodeId /*from*/,
   if (!s.ok()) return s;
   auto resp = std::make_shared<LockResponse>();
   resp->state = StateTuple(req.object);
+  if (options_.mutation_hooks.skip_relock_staged &&
+      req.mode == LockMode::kShared) {
+    // Count grants that the relock defense would have refused: a shared
+    // lock on an object inside a prepared-but-undecided footprint.
+    for (const auto& [key, staged] : staged_) {
+      bool touches = staged.action.install_epoch;
+      for (const ObjectAction& act : staged.action.objects) {
+        touches = touches || act.object == req.object;
+      }
+      if (touches) {
+        simulator()
+            ->metrics()
+            .counter("mutation.relock_bypassed")
+            ->Increment();
+        break;
+      }
+    }
+  }
+  if (options_.mutation_hooks.serve_stale_reads &&
+      req.mode == LockMode::kShared && resp->state.stale) {
+    resp->state.stale = false;  // Test-only lie; see MutationHooks.
+    simulator()->metrics().counter("mutation.stale_lied")->Increment();
+  }
   return PayloadPtr(std::move(resp));
 }
 

@@ -62,6 +62,25 @@ struct ReplicaNodeOptions {
   /// survives Crash()/Recover() untouched) and constructs no engine at
   /// all, keeping schedules byte-identical to pre-durability builds.
   store::DurabilityOptions durability;
+
+  /// Test-only fault seeding for the end-to-end consistency audit's
+  /// mutation tests (tests/audit_mutation_test.cc). All flags default to
+  /// off and no production path sets them. Each flag resurrects a real
+  /// bug class the protocol defends against, proving the client-history
+  /// auditor would catch a regression of that defense.
+  struct MutationHooks {
+    /// Skip re-acquiring exclusive locks for staged (prepared) actions on
+    /// recovery. A reader can then lock around an in-doubt write and
+    /// return data that a globally committed transaction has already
+    /// superseded — the stale-read bug RelockStaged exists to prevent.
+    bool skip_relock_staged = false;
+
+    /// Lie in lock responses to shared (read) requests: report a stale
+    /// replica as current. A read quorum of entirely-stale replicas then
+    /// serves old data instead of failing with kStaleData.
+    bool serve_stale_reads = false;
+  };
+  MutationHooks mutation_hooks;
 };
 
 /// Statistics a node keeps about its own protocol activity. Snapshot

@@ -17,6 +17,8 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/client_history.h"
+#include "analysis/linearize.h"
 #include "harness/workload.h"
 #include "protocol/cluster.h"
 
@@ -85,9 +87,11 @@ TEST_P(CrashPointSweep, NoCommittedVersionLostAndInvariantsHold) {
                                          cluster.num_nodes(), kHorizon);
   Nemesis nemesis(&cluster, scenario);
 
+  analysis::ClientHistory history;
   WorkloadDriver::Options wopts;
   wopts.arrival_rate = 0.01;
   wopts.seed = uint64_t(seed) + 1000;
+  wopts.client_history = &history;
   WorkloadDriver workload(&cluster, wopts);
 
   cluster.RunFor(kHorizon);
@@ -106,6 +110,16 @@ TEST_P(CrashPointSweep, NoCommittedVersionLostAndInvariantsHold) {
   EXPECT_TRUE(cluster.CheckHistory().ok())
       << cluster.CheckHistory().ToString();
   EXPECT_TRUE(cluster.Quiescent());
+
+  // End-to-end client-consistency verdict over the crash storm: crashes
+  // that tear WAL tails and rebuild nodes from disk must never surface
+  // to clients as a non-linearizable read or a lost acked write.
+  analysis::AuditOptions aopts;
+  aopts.mode = analysis::AuditMode::kLinearizable;
+  aopts.initial_value = std::vector<uint8_t>(32, 0);
+  analysis::AuditVerdict verdict = analysis::AuditHistory(history, aopts);
+  EXPECT_TRUE(verdict.ok) << verdict.ToString();
+  EXPECT_FALSE(verdict.inconclusive) << verdict.ToString();
 
   // The durability invariant: every version acked to a client survived
   // the storm on at least one current replica, and is readable.

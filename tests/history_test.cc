@@ -114,5 +114,80 @@ TEST(History, TotalUpdatesReplayCorrectly) {
   EXPECT_TRUE(h.CheckOneCopySerializable({'o', 'l', 'd', '!'}).ok());
 }
 
+// --- partial-write overlap edge cases -------------------------------------
+
+TEST(History, AdjacentPartialRangesComposeWithoutOverlap) {
+  // [0,2) then [2,4): adjacent but disjoint; both survive in the replay.
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a', 'b'}), 10));
+  h.RecordWriteDecision(W(2, Update::Partial(2, {'c', 'd'}), 20));
+  h.RecordRead(R(2, {'a', 'b', 'c', 'd'}, 25, 26));
+  EXPECT_TRUE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, OverlappingPartialsLastWriterWinsOnTheOverlap) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'x', 'x', 'x'}), 10));
+  h.RecordWriteDecision(W(2, Update::Partial(1, {'y'}), 20));
+  h.RecordRead(R(2, {'x', 'y', 'x'}, 25, 26));
+  EXPECT_TRUE(h.CheckOneCopySerializable({}).ok());
+
+  // Same history, but the read pretends the overlap kept v1's byte.
+  HistoryRecorder bad;
+  bad.RecordWriteDecision(W(1, Update::Partial(0, {'x', 'x', 'x'}), 10));
+  bad.RecordWriteDecision(W(2, Update::Partial(1, {'y'}), 20));
+  bad.RecordRead(R(2, {'x', 'x', 'x'}, 25, 26));
+  EXPECT_FALSE(bad.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, ZeroLengthPartialIsAPureVersionBump) {
+  // A zero-length update at offset 0 changes no bytes but still consumes
+  // a version slot; reads of that version must see the prior contents.
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  h.RecordWriteDecision(W(2, Update::Partial(0, {}), 20));
+  h.RecordRead(R(2, {'a'}, 25, 26));
+  EXPECT_TRUE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, ZeroLengthPartialPastTheEndZeroFills) {
+  // Replay semantics follow VersionedObject::Apply: offset+len beyond the
+  // current size resizes with zero fill, even when len == 0.
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'a'}), 10));
+  h.RecordWriteDecision(W(2, Update::Partial(3, {}), 20));
+  h.RecordRead(R(2, {'a', 0, 0}, 25, 26));
+  EXPECT_TRUE(h.CheckOneCopySerializable({}).ok());
+}
+
+TEST(History, PartialBeyondEndZeroFillsTheGap) {
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(4, {'z'}), 10));
+  h.RecordRead(R(1, {'a', 'b', 0, 0, 'z'}, 12, 13));
+  EXPECT_TRUE(h.CheckOneCopySerializable({'a', 'b'}).ok());
+}
+
+TEST(History, SnapshotWritesInterleavedWithPartialsReplayInOrder) {
+  // partial, then a full-object snapshot install, then another partial:
+  // the snapshot wipes the first partial, the second lands on top of the
+  // snapshot, and reads of every intermediate version check out.
+  HistoryRecorder h;
+  h.RecordWriteDecision(W(1, Update::Partial(0, {'p'}), 10));
+  h.RecordWriteDecision(W(2, Update::Total({'s', 'n', 'a', 'p'}), 20));
+  h.RecordWriteDecision(W(3, Update::Partial(1, {'X'}), 30));
+  h.RecordRead(R(1, {'p'}, 12, 13));
+  h.RecordRead(R(2, {'s', 'n', 'a', 'p'}, 22, 23));
+  h.RecordRead(R(3, {'s', 'X', 'a', 'p'}, 32, 33));
+  EXPECT_TRUE(h.CheckOneCopySerializable({}).ok());
+
+  // A read of the post-snapshot version that still shows the
+  // pre-snapshot partial is a replay violation.
+  HistoryRecorder bad;
+  bad.RecordWriteDecision(W(1, Update::Partial(0, {'p'}), 10));
+  bad.RecordWriteDecision(W(2, Update::Total({'s', 'n', 'a', 'p'}), 20));
+  bad.RecordRead(R(2, {'p', 'n', 'a', 'p'}, 22, 23));
+  EXPECT_FALSE(bad.CheckOneCopySerializable({}).ok());
+}
+
 }  // namespace
 }  // namespace dcp::protocol

@@ -13,6 +13,8 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/client_history.h"
+#include "analysis/linearize.h"
 #include "harness/workload.h"
 #include "protocol/cluster.h"
 
@@ -64,9 +66,11 @@ TEST_P(NemesisSweep, InvariantsHoldAndClusterQuiesces) {
                                      cluster.num_nodes(), kHorizon);
   Nemesis nemesis(&cluster, scenario);
 
+  analysis::ClientHistory history;
   WorkloadDriver::Options wopts;
   wopts.arrival_rate = 0.01;
   wopts.seed = uint64_t(seed) + 1000;
+  wopts.client_history = &history;
   WorkloadDriver workload(&cluster, wopts);
 
   cluster.RunFor(kHorizon);
@@ -84,6 +88,16 @@ TEST_P(NemesisSweep, InvariantsHoldAndClusterQuiesces) {
   EXPECT_TRUE(cluster.CheckHistory().ok())
       << cluster.CheckHistory().ToString();
   EXPECT_TRUE(cluster.Quiescent());
+
+  // End-to-end client-consistency verdict: the history the clients
+  // actually observed (including open-interval timeouts) must be
+  // linearizable against the versioned-object model.
+  analysis::AuditOptions aopts;
+  aopts.mode = analysis::AuditMode::kLinearizable;
+  aopts.initial_value = std::vector<uint8_t>(32, 0);
+  analysis::AuditVerdict verdict = analysis::AuditHistory(history, aopts);
+  EXPECT_TRUE(verdict.ok) << verdict.ToString();
+  EXPECT_FALSE(verdict.inconclusive) << verdict.ToString();
 
   // The run must actually have been adversarial: the nemesis applied
   // faults and the fault model interfered with real traffic.
