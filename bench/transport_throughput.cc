@@ -1,0 +1,173 @@
+// Measures the real-threads socket backend end to end: protocol writes,
+// partial writes, and reads over the loopback TCP mesh, reporting
+// throughput (ops/sec) and client-visible latency percentiles.
+//
+// These are wall-clock numbers from a shared CI machine — the CI
+// transport-smoke job gates only on "completed with nonzero throughput",
+// never on absolute values (see .github/workflows/ci.yml).
+//
+// Usage: transport_throughput [--quick] [--metrics-json <path>]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "harness/socket_cluster.h"
+#include "storage/versioned_object.h"
+#include "util/statistics.h"
+
+// Timing a real multithreaded backend is this bench's whole point; the
+// sim-time rule does not apply.  // dcp-lint: allow-file(wall-clock)
+#include <chrono>
+
+namespace dcp {
+namespace {
+
+using harness::SocketCluster;
+using harness::SocketClusterOptions;
+using storage::Update;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Config {
+  const char* name;
+  uint32_t num_nodes;
+  int ops;
+  bool partial;  ///< Alternate partial writes into the stream.
+};
+
+struct RowResult {
+  double ops_per_sec = 0;
+  double write_p50_ms = 0;
+  double write_p99_ms = 0;
+  double read_p50_ms = 0;
+  double read_p99_ms = 0;
+  uint64_t frames = 0;
+  bool ok = false;
+};
+
+RowResult RunConfig(const Config& cfg) {
+  RowResult result;
+  SocketClusterOptions options;
+  options.num_nodes = cfg.num_nodes;
+  options.coterie = protocol::CoterieKind::kMajority;
+  options.initial_value = std::vector<uint8_t>(64, 0);
+  SocketCluster cluster(options);
+  Status started = cluster.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return result;
+  }
+
+  SampleStats write_ms, read_ms;
+  const Clock::time_point bench_start = Clock::now();
+  for (int i = 0; i < cfg.ops; ++i) {
+    const NodeId coordinator = static_cast<NodeId>(i) % cfg.num_nodes;
+    Clock::time_point t0 = Clock::now();
+    if (cfg.partial && i % 2 == 1) {
+      auto w = cluster.WriteSyncRetry(
+          coordinator, 0,
+          Update::Partial(static_cast<uint64_t>(i % 32),
+                          {static_cast<uint8_t>(i)}),
+          /*max_attempts=*/20);
+      if (!w.ok()) {
+        std::fprintf(stderr, "partial write %d failed: %s\n", i,
+                     w.status().ToString().c_str());
+        return result;
+      }
+    } else {
+      auto w = cluster.WriteSyncRetry(
+          coordinator, 0,
+          Update::Total(std::vector<uint8_t>(64, static_cast<uint8_t>(i))),
+          /*max_attempts=*/20);
+      if (!w.ok()) {
+        std::fprintf(stderr, "write %d failed: %s\n", i,
+                     w.status().ToString().c_str());
+        return result;
+      }
+    }
+    write_ms.Add(SecondsSince(t0) * 1e3);
+
+    if (i % 4 == 3) {
+      t0 = Clock::now();
+      auto r = cluster.ReadSync((coordinator + 1) % cfg.num_nodes);
+      if (!r.ok()) {
+        std::fprintf(stderr, "read %d failed: %s\n", i,
+                     r.status().ToString().c_str());
+        return result;
+      }
+      read_ms.Add(SecondsSince(t0) * 1e3);
+    }
+  }
+  const double elapsed = SecondsSince(bench_start);
+  const double total_ops =
+      static_cast<double>(write_ms.count() + read_ms.count());
+
+  result.ops_per_sec = elapsed > 0 ? total_ops / elapsed : 0;
+  result.write_p50_ms = write_ms.Percentile(50);
+  result.write_p99_ms = write_ms.Percentile(99);
+  result.read_p50_ms = read_ms.Percentile(50);
+  result.read_p99_ms = read_ms.Percentile(99);
+  result.frames = cluster.transport().frames_sent();
+  result.ok = true;
+  cluster.Stop();
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::string json_path = bench::MetricsJsonPathFromArgs(argc, argv);
+
+  std::vector<Config> configs;
+  if (quick) {
+    configs.push_back({"n3_mixed_quick", 3, 60, true});
+    configs.push_back({"n5_mixed_quick", 5, 40, true});
+  } else {
+    configs.push_back({"n3_total", 3, 400, false});
+    configs.push_back({"n3_mixed", 3, 400, true});
+    configs.push_back({"n5_mixed", 5, 300, true});
+    configs.push_back({"n7_mixed", 7, 200, true});
+  }
+
+  bench::BenchJsonWriter json("transport_throughput");
+  bool all_ok = true;
+  std::printf("%-16s %10s %12s %12s %12s %12s %10s\n", "config", "ops/sec",
+              "write p50", "write p99", "read p50", "read p99", "frames");
+  for (const Config& cfg : configs) {
+    RowResult row = RunConfig(cfg);
+    all_ok = all_ok && row.ok && row.ops_per_sec > 0;
+    std::printf("%-16s %10.1f %10.3fms %10.3fms %10.3fms %10.3fms %10llu\n",
+                cfg.name, row.ops_per_sec, row.write_p50_ms, row.write_p99_ms,
+                row.read_p50_ms, row.read_p99_ms,
+                static_cast<unsigned long long>(row.frames));
+    json.Row(cfg.name);
+    json.Metric("ops_per_sec", row.ops_per_sec);
+    json.Metric("write_p50_ms", row.write_p50_ms);
+    json.Metric("write_p99_ms", row.write_p99_ms);
+    json.Metric("read_p50_ms", row.read_p50_ms);
+    json.Metric("read_p99_ms", row.read_p99_ms);
+    json.Metric("frames_sent", static_cast<double>(row.frames));
+  }
+
+  if (!json_path.empty() && !json.WriteFile(json_path)) all_ok = false;
+  if (!all_ok) {
+    std::fprintf(stderr, "transport_throughput: FAILED\n");
+    return 1;
+  }
+  std::printf("transport_throughput: OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcp
+
+int main(int argc, char** argv) { return dcp::Run(argc, argv); }

@@ -1,6 +1,6 @@
 #include "net/message.h"
 
-#include <deque>
+#include <mutex>
 #include <unordered_map>
 
 #include "util/flat_map.h"
@@ -10,7 +10,15 @@ namespace dcp::net {
 namespace {
 
 // Node-based containers keep interned string addresses stable for the
-// process lifetime. Function-local statics avoid init-order issues.
+// process lifetime. Function-local statics avoid init-order issues. One
+// mutex guards both tables: interning is cold (first use of a type name
+// per call site, plus inbound decode on the socket backend) and TypeName
+// copies/comparisons never come here.
+std::mutex& InternMutex() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+
 std::unordered_map<std::string_view, std::unique_ptr<const std::string>>&
 InternTable() {
   static auto* table = new std::unordered_map<std::string_view,
@@ -23,9 +31,7 @@ FlatMap<const std::string*>& ReplyTable() {
   return *table;
 }
 
-}  // namespace
-
-const std::string* TypeName::Intern(std::string_view s) {
+const std::string* InternLocked(std::string_view s) {
   auto& table = InternTable();
   auto it = table.find(s);
   if (it != table.end()) return it->second.get();
@@ -34,16 +40,24 @@ const std::string* TypeName::Intern(std::string_view s) {
   return table.emplace(key, std::move(owned)).first->second.get();
 }
 
+}  // namespace
+
+const std::string* TypeName::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(InternMutex());
+  return InternLocked(s);
+}
+
 const std::string* TypeName::EmptyString() {
   static const std::string* empty = Intern("");
   return empty;
 }
 
 TypeName TypeName::Reply() const {
+  std::lock_guard<std::mutex> lock(InternMutex());
   auto& replies = ReplyTable();
   uint64_t k = key();
   if (const std::string** cached = replies.Find(k)) return TypeName(*cached);
-  const std::string* reply = Intern(*s_ + ".reply");
+  const std::string* reply = InternLocked(*s_ + ".reply");
   replies.Insert(k, reply);
   return TypeName(reply);
 }

@@ -23,8 +23,11 @@ namespace dcp::net {
 ///
 /// Interning happens on conversion from a string; passing `msg::k*`
 /// constants costs one short-string hash, no allocation after first use.
-/// The table only grows (types are a protocol vocabulary, not data) and,
-/// like the simulator it serves, it is single-threaded by design.
+/// The table only grows (types are a protocol vocabulary, not data). It
+/// is guarded by a mutex so the socket backend's worker threads can
+/// intern decoded type names concurrently; on the sim backend the lock
+/// is uncontended and the hot path (pointer copies, pointer equality)
+/// never touches the table at all.
 class TypeName {
  public:
   TypeName() : s_(EmptyString()) {}
@@ -95,6 +98,16 @@ struct Message {
   TypeName type;
   PayloadPtr payload;
   Status status;  ///< Application status for responses.
+};
+
+/// Receives messages addressed to a node. Implemented by RpcRuntime.
+/// This is the receive half of the transport seam (see rt::Transport):
+/// a backend delivers each inbound message by invoking the sink that the
+/// destination node registered, on that node's execution context.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void Deliver(Message msg) = 0;
 };
 
 }  // namespace dcp::net

@@ -193,6 +193,7 @@ void Network::ScheduleDelivery(Message msg, sim::Time latency,
 void Network::Send(Message msg, std::function<void()> on_failed) {
   // A crashed node cannot emit messages (fail-stop).
   if (!IsUp(msg.src)) return;
+  if (send_tap_) send_tap_(msg);
   sent_->Increment();
   ForType(msg.type).sent->Increment();
 

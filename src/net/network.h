@@ -11,19 +11,13 @@
 #include <vector>
 
 #include "net/message.h"
+#include "runtime/transport.h"
 #include "sim/simulator.h"
 #include "util/flat_map.h"
 #include "util/node_set.h"
 #include "util/random.h"
 
 namespace dcp::net {
-
-/// Receives messages addressed to a node. Implemented by RpcRuntime.
-class MessageSink {
- public:
-  virtual ~MessageSink() = default;
-  virtual void Deliver(Message msg) = 0;
-};
 
 /// Message latency model: uniform in [base, base + jitter].
 struct LatencyModel {
@@ -115,19 +109,23 @@ struct NetworkStats {
 /// trivial (all-zero) FaultModel leaves behavior bit-for-bit identical to
 /// the pristine fail-stop network: the fault RNG is only ever touched once
 /// a non-trivial model is installed.
-class Network {
+///
+/// Network is the simulator backend of the `rt::Transport` seam — there
+/// is no wrapper between the seam and the event queue, so the refactor
+/// that introduced the seam left seeded schedules byte-identical.
+class Network final : public rt::Transport {
  public:
   Network(sim::Simulator* sim, Rng rng, LatencyModel latency = {});
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   /// Registers `sink` for `node`. Nodes start up and fully connected.
-  void Register(NodeId node, MessageSink* sink);
+  void Register(NodeId node, MessageSink* sink) override;
 
   /// Crash / repair. Crashing does not drop registration; it only makes
   /// the node unreachable (fail-stop).
-  void SetNodeUp(NodeId node, bool up);
-  bool IsUp(NodeId node) const;
+  void SetNodeUp(NodeId node, bool up) override;
+  bool IsUp(NodeId node) const override;
 
   /// Installs a partitioning: each set is a connectivity group; nodes not
   /// mentioned keep group 0. Overwrites any previous partitioning.
@@ -172,7 +170,17 @@ class Network {
   /// If the message turns out undeliverable — or the fault model drops
   /// it — `on_failed`, when provided, fires at the sender side at the
   /// would-be delivery time; this is the transport half of RPC.CallFailed.
-  void Send(Message msg, std::function<void()> on_failed = nullptr);
+  void Send(Message msg, std::function<void()> on_failed = nullptr) override;
+
+  /// Every node shares the one simulator as its runtime.
+  rt::Runtime* runtime(NodeId node) override {
+    (void)node;
+    return sim_;
+  }
+
+  /// Conformance-test hook; see rt::SendTap. Observes messages from live
+  /// senders at Send() time, before latency sampling or fault injection.
+  void set_send_tap(rt::SendTap tap) override { send_tap_ = std::move(tap); }
 
   /// Snapshot of the registry-backed traffic counters. All-zero per-type
   /// and per-node entries are omitted, so a freshly reset network reports
@@ -208,6 +216,7 @@ class Network {
   obs::Counter* DeliveredTo(NodeId node);
 
   sim::Simulator* sim_;
+  rt::SendTap send_tap_;
   Rng rng_;
   Rng fault_rng_{0};  // dcp-lint: allow(raw-rng) — re-seeded lazily
   bool fault_rng_seeded_ = false;

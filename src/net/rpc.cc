@@ -6,10 +6,11 @@
 
 namespace dcp::net {
 
-RpcRuntime::RpcRuntime(Network* network, NodeId self, sim::Time timeout)
-    : network_(network), self_(self), timeout_(timeout) {
-  network_->Register(self_, this);
-  obs::MetricsRegistry& m = network_->simulator()->metrics();
+RpcRuntime::RpcRuntime(rt::Transport* transport, NodeId self, rt::Time timeout)
+    : transport_(transport), rt_(transport->runtime(self)), self_(self),
+      timeout_(timeout) {
+  transport_->Register(self_, this);
+  obs::MetricsRegistry& m = rt_->metrics();
   calls_ = m.counter("rpc.calls");
   ok_ = m.counter("rpc.ok");
   app_errors_ = m.counter("rpc.app_errors");
@@ -33,11 +34,11 @@ void RpcRuntime::Call(NodeId dst, TypeName type, PayloadPtr request,
   msg.type = type;
   msg.payload = std::move(request);
 
-  sim::Simulator* sim = network_->simulator();
+  rt::Runtime* sim = rt_;
   sim->tracer().BeginSpan("rpc", type.str(), self_, SpanId(id),
                           {{"dst", std::to_string(dst)}});
 
-  sim::EventId timer = sim->Schedule(timeout_, [this, id] {
+  rt::TimerId timer = sim->Schedule(timeout_, [this, id] {
     timeouts_->Increment();
     Complete(id, RpcResult::CallFailed(
                      Status::TimedOut("rpc timeout; treating as CallFailed")));
@@ -45,14 +46,14 @@ void RpcRuntime::Call(NodeId dst, TypeName type, PayloadPtr request,
   outstanding_.Insert(
       id, Outstanding{std::move(cb), timer, sim->Now(), dst, type});
 
-  network_->Send(std::move(msg), [this, id] {
+  transport_->Send(std::move(msg), [this, id] {
     Complete(id, RpcResult::CallFailed(
                      Status::CallFailed("destination unreachable")));
   });
 }
 
 void RpcRuntime::AbortAll() {
-  obs::EventTracer& tracer = network_->simulator()->tracer();
+  obs::EventTracer& tracer = rt_->tracer();
   // The flat map iterates in table order; abandon spans in rpc-id order
   // so crash traces stay identical to the ordered-map implementation.
   std::vector<uint64_t> ids;
@@ -61,7 +62,7 @@ void RpcRuntime::AbortAll() {
   std::sort(ids.begin(), ids.end());
   for (uint64_t id : ids) {
     Outstanding& out = *outstanding_.Find(id);
-    network_->simulator()->Cancel(out.timeout_event);
+    rt_->Cancel(out.timeout_event);
     tracer.EndSpan("rpc", out.type.str(), self_, SpanId(id),
                    {{"outcome", "abandoned"}});
   }
@@ -89,7 +90,7 @@ void RpcRuntime::RememberReply(uint64_t key, const Message& reply) {
 void RpcRuntime::Complete(uint64_t rpc_id, RpcResult result) {
   Outstanding* out = outstanding_.Find(rpc_id);
   if (out == nullptr) return;  // Already completed or aborted.
-  sim::Simulator* sim = network_->simulator();
+  rt::Runtime* sim = rt_;
   RpcCallback cb = std::move(out->cb);
   sim->Cancel(out->timeout_event);
   latency_->Observe(sim->Now() - out->started);
@@ -111,12 +112,12 @@ void RpcRuntime::Complete(uint64_t rpc_id, RpcResult result) {
                         {{"outcome", outcome}});
   outstanding_.Erase(rpc_id);
   // A crashed caller never observes completions.
-  if (!network_->IsUp(self_)) return;
+  if (!transport_->IsUp(self_)) return;
   cb(std::move(result));
 }
 
 void RpcRuntime::Deliver(Message msg) {
-  if (!network_->IsUp(self_)) return;  // Crashed nodes receive nothing.
+  if (!transport_->IsUp(self_)) return;  // Crashed nodes receive nothing.
   switch (msg.kind) {
     case Message::Kind::kRequest: {
       assert(service_ != nullptr && "node has no RpcService installed");
@@ -134,7 +135,7 @@ void RpcRuntime::Deliver(Message msg) {
         reply.type = cached->type;
         reply.payload = cached->payload;
         reply.status = cached->status;
-        network_->Send(std::move(reply));
+        transport_->Send(std::move(reply));
         break;
       }
       const NodeId src = msg.src;
@@ -147,7 +148,7 @@ void RpcRuntime::Deliver(Message msg) {
            reply_type](Result<PayloadPtr> result) {
             // Crashed (or crashed-and-recovered) between delivery and
             // completion: the pre-crash handler's answer is void.
-            if (inc != incarnation_ || !network_->IsUp(self_)) return;
+            if (inc != incarnation_ || !transport_->IsUp(self_)) return;
             Message reply;
             reply.src = self_;
             reply.dst = src;
@@ -161,7 +162,7 @@ void RpcRuntime::Deliver(Message msg) {
             }
             RememberReply(dedup_key, reply);
             // Lost replies surface at the caller via its timeout.
-            network_->Send(std::move(reply));
+            transport_->Send(std::move(reply));
           });
       break;
     }
@@ -215,7 +216,7 @@ void MulticastGather(RpcRuntime* runtime, const NodeSet& targets,
 
   if (state->expected == 0) {
     // Complete asynchronously for uniform re-entrancy behaviour.
-    runtime->network()->simulator()->Schedule(
+    runtime->runtime()->Schedule(
         0, [state] { state->done(std::move(state->result)); });
     return;
   }

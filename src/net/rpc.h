@@ -10,8 +10,7 @@
 #include <utility>
 
 #include "net/message.h"
-#include "net/network.h"
-#include "sim/simulator.h"
+#include "runtime/transport.h"
 #include "util/flat_map.h"
 #include "util/node_set.h"
 #include "util/result.h"
@@ -87,11 +86,14 @@ class RpcService {
 class RpcRuntime : public MessageSink {
  public:
   /// `timeout` bounds how long a caller waits for a response before
-  /// synthesizing RPC.CallFailed.
-  RpcRuntime(Network* network, NodeId self, sim::Time timeout = 100.0);
+  /// synthesizing RPC.CallFailed. The runtime registers itself as
+  /// `self`'s sink on `transport` and caches `transport->runtime(self)`
+  /// as its execution context.
+  RpcRuntime(rt::Transport* transport, NodeId self, rt::Time timeout = 100.0);
 
   NodeId self() const { return self_; }
-  Network* network() { return network_; }
+  rt::Transport* transport() { return transport_; }
+  rt::Runtime* runtime() { return rt_; }
 
   void set_service(RpcService* service) { service_ = service; }
 
@@ -111,8 +113,8 @@ class RpcRuntime : public MessageSink {
  private:
   struct Outstanding {
     RpcCallback cb;
-    sim::EventId timeout_event;
-    sim::Time started = 0;  ///< Issue time, for the rpc.latency histogram.
+    rt::TimerId timeout_event;
+    rt::Time started = 0;  ///< Issue time, for the rpc.latency histogram.
     NodeId dst = 0;
     TypeName type;  ///< Request type; names the trace span.
   };
@@ -137,9 +139,10 @@ class RpcRuntime : public MessageSink {
     return (static_cast<uint64_t>(self_) << 40) | rpc_id;
   }
 
-  Network* network_;
+  rt::Transport* transport_;
+  rt::Runtime* rt_;  ///< Cached transport_->runtime(self_).
   NodeId self_;
-  sim::Time timeout_;
+  rt::Time timeout_;
   RpcService* service_ = nullptr;
   uint64_t next_rpc_id_ = 1;
   /// Bumped by AbortAll. A deferred Responder captured before a crash
@@ -160,9 +163,9 @@ class RpcRuntime : public MessageSink {
   FlatMap<CachedReply> reply_cache_;
   std::deque<uint64_t> reply_cache_order_;
 
-  // Registry handles ("rpc.*"). Shared across all nodes' runtimes on one
-  // simulator: the registry hands back the same counter for the same name,
-  // so these aggregate cluster-wide.
+  // Registry handles ("rpc.*"), resolved against this node's runtime. On
+  // the sim backend all nodes share the simulator's registry, so these
+  // aggregate cluster-wide; on the socket backend they are per-node.
   obs::Counter* calls_;
   obs::Counter* ok_;
   obs::Counter* app_errors_;

@@ -16,9 +16,9 @@ EpochDaemon::EpochDaemon(ReplicaNode* node, EpochDaemonOptions options)
   // Everyone initially assumes the highest-named replica leads.
   NodeSet all = node_->all_nodes();
   believed_leader_ = all.NthMember(all.Size() - 1);
-  last_leader_heard_ = node_->simulator()->Now();
+  last_leader_heard_ = node_->runtime()->Now();
 
-  obs::MetricsRegistry& m = node_->simulator()->metrics();
+  obs::MetricsRegistry& m = node_->runtime()->metrics();
   const std::string p = "daemon." + std::to_string(node_->self()) + ".";
   counters_.checks_run = m.counter(p + "checks_run");
   counters_.checks_failed = m.counter(p + "checks_failed");
@@ -35,10 +35,10 @@ EpochDaemon::EpochDaemon(ReplicaNode* node, EpochDaemonOptions options)
       });
 
   // Stagger ticks by node id so daemons do not fire in lockstep.
-  sim::Time stagger = static_cast<sim::Time>(node_->self()) *
+  rt::Time stagger = static_cast<rt::Time>(node_->self()) *
                       (options_.check_interval / (all.Size() + 1));
-  ticker_ = std::make_unique<sim::PeriodicTask>(
-      node_->simulator(), options_.check_interval + stagger,
+  ticker_ = std::make_unique<rt::PeriodicTimer>(
+      node_->runtime(), options_.check_interval + stagger,
       options_.check_interval, [this] { Tick(); });
 }
 
@@ -60,12 +60,12 @@ void EpochDaemon::OnCrash() {
 
 void EpochDaemon::OnRecover() {
   // Re-learn who leads; campaigning immediately is harmless.
-  last_leader_heard_ = node_->simulator()->Now() - options_.leader_timeout;
+  last_leader_heard_ = node_->runtime()->Now() - options_.leader_timeout;
 }
 
 void EpochDaemon::Tick() {
-  if (!node_->rpc().network()->IsUp(node_->self())) return;
-  sim::Time now = node_->simulator()->Now();
+  if (!node_->rpc().transport()->IsUp(node_->self())) return;
+  rt::Time now = node_->runtime()->Now();
 
   if (believed_leader_ == node_->self()) {
     // Leader duties: announce and run the epoch check.
@@ -96,7 +96,7 @@ void EpochDaemon::Campaign() {
   if (campaigning_) return;
   campaigning_ = true;
   counters_.elections_started->Increment();
-  node_->simulator()->tracer().Instant("epoch", "election.start",
+  node_->runtime()->tracer().Instant("epoch", "election.start",
                                        node_->self(), {});
 
   // Bully: any live higher-named node outranks us.
@@ -117,7 +117,7 @@ void EpochDaemon::Campaign() {
           if (r.ok()) {
             // A higher node is alive; it will campaign itself (it got our
             // election request). Back off for one timeout period.
-            last_leader_heard_ = node_->simulator()->Now();
+            last_leader_heard_ = node_->runtime()->Now();
             return;
           }
         }
@@ -129,7 +129,7 @@ void EpochDaemon::AssumeLeadership() {
   if (believed_leader_ == node_->self()) return;
   believed_leader_ = node_->self();
   counters_.leaderships_assumed->Increment();
-  node_->simulator()->tracer().Instant("epoch", "election.leader",
+  node_->runtime()->tracer().Instant("epoch", "election.leader",
                                        node_->self(), {});
   auto announce = std::make_shared<LeaderAnnouncement>();
   announce->leader = node_->self();
@@ -146,8 +146,8 @@ Result<PayloadPtr> EpochDaemon::HandleExtension(NodeId from,
     // A lower-named node is campaigning; we outrank it, so we campaign
     // ourselves (possibly assuming leadership) after replying.
     (void)from;
-    node_->simulator()->Schedule(0, [this] {
-      if (!node_->rpc().network()->IsUp(node_->self())) return;
+    node_->runtime()->Schedule(0, [this] {
+      if (!node_->rpc().transport()->IsUp(node_->self())) return;
       if (believed_leader_ != node_->self()) Campaign();
     });
     return PayloadPtr(MakePayload<ElectionResponse>());
@@ -156,11 +156,11 @@ Result<PayloadPtr> EpochDaemon::HandleExtension(NodeId from,
     const auto& ann = net::As<LeaderAnnouncement>(request);
     if (ann.leader >= node_->self()) {
       believed_leader_ = ann.leader;
-      last_leader_heard_ = node_->simulator()->Now();
+      last_leader_heard_ = node_->runtime()->Now();
     } else {
       // We outrank the claimant: contest.
-      node_->simulator()->Schedule(0, [this] {
-        if (!node_->rpc().network()->IsUp(node_->self())) return;
+      node_->runtime()->Schedule(0, [this] {
+        if (!node_->rpc().transport()->IsUp(node_->self())) return;
         Campaign();
       });
     }

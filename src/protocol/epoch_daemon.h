@@ -6,19 +6,19 @@
 
 #include "protocol/messages.h"
 #include "protocol/replica_node.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 
 namespace dcp::protocol {
 
 struct EpochDaemonOptions {
   /// Period of the "steady (albeit infrequent) pulse of epoch checking
   /// operations" (Section 2). Only the elected leader actually runs them.
-  sim::Time check_interval = 300.0;
+  rt::Time check_interval = 300.0;
 
   /// If a node hears nothing from a leader for this long, it campaigns
   /// ("a new election would be started by any node noticing that epoch
   /// checking has not run for a while", Section 4.3).
-  sim::Time leader_timeout = 900.0;
+  rt::Time leader_timeout = 900.0;
 };
 
 /// Snapshot view of one daemon's registry counters ("daemon.<id>.*").
@@ -65,9 +65,9 @@ class EpochDaemon {
   ReplicaNode* node_;
   EpochDaemonOptions options_;
   DaemonCounters counters_;
-  std::unique_ptr<sim::PeriodicTask> ticker_;
+  std::unique_ptr<rt::PeriodicTimer> ticker_;
   NodeId believed_leader_;
-  sim::Time last_leader_heard_ = 0;
+  rt::Time last_leader_heard_ = 0;
   bool check_in_flight_ = false;
   bool campaigning_ = false;
 };

@@ -5,7 +5,7 @@
 #include <map>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "storage/versioned_object.h"
 #include "util/node_set.h"
 #include "util/status.h"
@@ -27,15 +27,15 @@ class HistoryRecorder {
   struct CommittedWrite {
     storage::Version version = 0;  ///< Version the write produced.
     storage::Update update;
-    sim::Time decided_at = 0;
+    rt::Time decided_at = 0;
     NodeId coordinator = kInvalidNode;
   };
 
   struct CompletedRead {
     storage::Version version = 0;
     std::vector<uint8_t> data;
-    sim::Time started_at = 0;
-    sim::Time finished_at = 0;
+    rt::Time started_at = 0;
+    rt::Time finished_at = 0;
     NodeId coordinator = kInvalidNode;
   };
 

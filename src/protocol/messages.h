@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "net/message.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "storage/replica_store.h"
 #include "storage/versioned_object.h"
 #include "util/node_set.h"
@@ -73,7 +73,7 @@ struct LockRequest : net::Payload {
   LockOwner owner;
   LockMode mode = LockMode::kExclusive;
   ObjectId object = 0;
-  sim::Time op_started = 0;
+  rt::Time op_started = 0;
 };
 
 /// Granted-lock response. A refused lock is an app-level Conflict error.

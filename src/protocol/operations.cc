@@ -108,12 +108,12 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
         done_(std::move(done)) {
     owner_.coordinator = node_->self();
     owner_.operation_id = node_->NextOperationId();
-    started_at_ = node_->simulator()->Now();
+    started_at_ = node_->runtime()->Now();
     span_id_ = OpSpanId(owner_);  // Fixed even if retries re-id the tx.
   }
 
   void Start() {
-    sim::Simulator* sim = node_->simulator();
+    rt::Runtime* sim = node_->runtime();
     sim->metrics().counter("op.write.started")->Increment();
     sim->tracer().BeginSpan("op", "write", node_->self(), span_id_,
                             {{"object", std::to_string(object_)}});
@@ -169,8 +169,8 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
   /// the locks already held) and re-evaluate.
   void StartHeavyProcedure() {
     heavy_ = true;
-    node_->simulator()->metrics().counter("op.write.heavy")->Increment();
-    node_->simulator()->tracer().Instant("op", "op.write.heavy",
+    node_->runtime()->metrics().counter("op.write.heavy")->Increment();
+    node_->runtime()->tracer().Instant("op", "op.write.heavy",
                                          node_->self(), {});
     NodeSet remaining = node_->all_nodes().Difference(KeysOf(held_));
     auto self = shared_from_this();
@@ -304,7 +304,7 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
             HistoryRecorder::CommittedWrite w;
             w.version = new_version;
             w.update = self->update_;
-            w.decided_at = self->node_->simulator()->Now();
+            w.decided_at = self->node_->runtime()->Now();
             w.coordinator = self->node_->self();
             self->history_->RecordWriteDecision(w);
           }
@@ -339,7 +339,7 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
   /// Single exit point: settles the op's metrics and trace span, then
   /// hands the result to the caller.
   void Complete(Result<WriteOutcome> result) {
-    sim::Simulator* sim = node_->simulator();
+    rt::Runtime* sim = node_->runtime();
     obs::MetricsRegistry& m = sim->metrics();
     std::string outcome;
     if (result.ok()) {
@@ -363,7 +363,7 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
   WriteDone done_;
   LockOwner owner_;
   uint64_t span_id_ = 0;
-  sim::Time started_at_ = 0;
+  rt::Time started_at_ = 0;
   TupleMap held_;
   bool heavy_ = false;
   bool saw_conflict_ = false;
@@ -383,12 +383,12 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
         done_(std::move(done)) {
     owner_.coordinator = node_->self();
     owner_.operation_id = node_->NextOperationId();
-    started_at_ = node_->simulator()->Now();
+    started_at_ = node_->runtime()->Now();
     span_id_ = OpSpanId(owner_);
   }
 
   void Start() {
-    sim::Simulator* sim = node_->simulator();
+    rt::Runtime* sim = node_->runtime();
     sim->metrics().counter("op.read.started")->Increment();
     sim->tracer().BeginSpan("op", "read", node_->self(), span_id_,
                             {{"object", std::to_string(object_)}});
@@ -437,8 +437,8 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
 
   void StartHeavyRead() {
     heavy_ = true;
-    node_->simulator()->metrics().counter("op.read.heavy")->Increment();
-    node_->simulator()->tracer().Instant("op", "op.read.heavy",
+    node_->runtime()->metrics().counter("op.read.heavy")->Increment();
+    node_->runtime()->tracer().Instant("op", "op.read.heavy",
                                          node_->self(), {});
     NodeSet remaining = node_->all_nodes().Difference(KeysOf(held_));
     auto self = shared_from_this();
@@ -492,7 +492,7 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
       r.version = out.version;
       r.data = out.data;
       r.started_at = started_at_;
-      r.finished_at = node_->simulator()->Now();
+      r.finished_at = node_->runtime()->Now();
       r.coordinator = node_->self();
       history_->RecordRead(r);
     }
@@ -509,7 +509,7 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
 
   /// Single exit point mirroring WriteOp::Complete.
   void Complete(Result<ReadOutcome> result) {
-    sim::Simulator* sim = node_->simulator();
+    rt::Runtime* sim = node_->runtime();
     obs::MetricsRegistry& m = sim->metrics();
     std::string outcome;
     if (result.ok()) {
@@ -531,7 +531,7 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
   ReadDone done_;
   LockOwner owner_;
   uint64_t span_id_ = 0;
-  sim::Time started_at_ = 0;
+  rt::Time started_at_ = 0;
   TupleMap held_;
   bool heavy_ = false;
   bool saw_conflict_ = false;
@@ -551,7 +551,7 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
   }
 
   void Start() {
-    sim::Simulator* sim = node_->simulator();
+    rt::Runtime* sim = node_->runtime();
     sim->metrics().counter("epoch.checks_started")->Increment();
     sim->tracer().BeginSpan("epoch", "epoch.check", node_->self(), span_id_,
                             {});
@@ -667,7 +667,7 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
 
   /// Single exit point: settles the epoch-check metrics and span.
   void Complete(Status s) {
-    sim::Simulator* sim = node_->simulator();
+    rt::Runtime* sim = node_->runtime();
     sim->metrics()
         .counter(s.ok() ? "epoch.checks_ok" : "epoch.checks_failed")
         ->Increment();

@@ -11,11 +11,11 @@ namespace dcp::protocol {
 using net::MakePayload;
 using net::PayloadPtr;
 
-ReplicaNode::ReplicaNode(net::Network* network, NodeId self,
+ReplicaNode::ReplicaNode(rt::Transport* transport, NodeId self,
                          NodeSet all_nodes, const coterie::CoterieRule* rule,
                          std::vector<std::vector<uint8_t>> initial_values,
                          ReplicaNodeOptions options)
-    : rpc_(network, self, options.rpc_timeout),
+    : rpc_(transport, self, options.rpc_timeout),
       self_(self),
       epoch_(std::make_shared<storage::EpochRecord>(
           storage::EpochRecord{0, all_nodes})),
@@ -39,11 +39,11 @@ ReplicaNode::ReplicaNode(net::Network* network, NodeId self,
   rpc_.set_service(this);
   if (options_.durability.enabled) {
     durable_ =
-        std::make_unique<store::DurableStore>(simulator(), options_.durability);
+        std::make_unique<store::DurableStore>(runtime(), options_.durability);
     durable_->set_snapshot_source([this] { return CheckpointState(); });
   }
 
-  obs::MetricsRegistry& m = simulator()->metrics();
+  obs::MetricsRegistry& m = runtime()->metrics();
   const std::string p = "node." + std::to_string(self) + ".";
   counters_.locks_granted = m.counter(p + "locks_granted");
   counters_.lock_conflicts = m.counter(p + "lock_conflicts");
@@ -99,7 +99,7 @@ void ReplicaNode::Recover() {
   // (a stale read the history checker rightly rejects).
   for (const auto& [key, staged] : staged_) {
     if (options_.mutation_hooks.skip_relock_staged) {
-      simulator()->metrics().counter("mutation.relock_skipped")->Increment();
+      runtime()->metrics().counter("mutation.relock_skipped")->Increment();
     } else {
       RelockStaged(staged);
     }
@@ -247,11 +247,11 @@ bool ReplicaNode::LockIsStaged(const LockOwner& owner) const {
 }
 
 Status ReplicaNode::TryLock(ObjectId object, const LockOwner& owner,
-                            bool exclusive, sim::Time op_started) {
+                            bool exclusive, rt::Time op_started) {
   storage::ReplicaStore& store = objects_.at(object);
   Status s = store.Lock(owner, exclusive);
   if (!s.ok()) {
-    sim::Time now = simulator()->Now();
+    rt::Time now = runtime()->Now();
     // Lease stealing: an expired, non-staged lock belongs to a
     // coordinator that died between its lock round and 2PC; break it.
     auto expired = [&](const LockOwner& holder) {
@@ -284,7 +284,7 @@ Status ReplicaNode::TryLock(ObjectId object, const LockOwner& owner,
     if (!evict.empty()) s = store.Lock(owner, exclusive);
   }
   if (s.ok()) {
-    lock_acquired_at_[KeyOf(owner)] = simulator()->Now();
+    lock_acquired_at_[KeyOf(owner)] = runtime()->Now();
     if (op_started > 0) op_started_at_[KeyOf(owner)] = op_started;
     counters_.locks_granted->Increment();
   } else {
@@ -372,7 +372,7 @@ Result<PayloadPtr> ReplicaNode::HandleLock(NodeId /*from*/,
         touches = touches || act.object == req.object;
       }
       if (touches) {
-        simulator()
+        runtime()
             ->metrics()
             .counter("mutation.relock_bypassed")
             ->Increment();
@@ -383,7 +383,7 @@ Result<PayloadPtr> ReplicaNode::HandleLock(NodeId /*from*/,
   if (options_.mutation_hooks.serve_stale_reads &&
       req.mode == LockMode::kShared && resp->state.stale) {
     resp->state.stale = false;  // Test-only lie; see MutationHooks.
-    simulator()->metrics().counter("mutation.stale_lied")->Increment();
+    runtime()->metrics().counter("mutation.stale_lied")->Increment();
   }
   return PayloadPtr(std::move(resp));
 }
@@ -519,7 +519,7 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
     if (durable_) {
       durable_->LogEpochInstall(action.epoch_number, action.epoch_list);
     }
-    simulator()->tracer().Instant(
+    runtime()->tracer().Instant(
         "epoch", "epoch.install", self_,
         {{"number", std::to_string(action.epoch_number)},
          {"members", std::to_string(action.epoch_list.Size())}});
@@ -578,7 +578,7 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
       if (store.version() < dv) {
         store.MarkStale(dv);
         if (durable_) durable_->LogMarkStale(act.object, dv);
-        simulator()->tracer().Instant(
+        runtime()->tracer().Instant(
             "node", "node.mark_stale", self_,
             {{"object", std::to_string(act.object)},
              {"dversion", std::to_string(dv)}});
@@ -615,10 +615,10 @@ void ReplicaNode::AbortStaged(const LockOwner& tx) {
 
 void ReplicaNode::ArmTerminationTimer(const LockOwner& tx) {
   uint64_t epoch = termination_epoch_;
-  simulator()->Schedule(options_.termination_poll_interval,
+  runtime()->Schedule(options_.termination_poll_interval,
                         [this, epoch, tx] {
                           if (epoch != termination_epoch_) return;
-                          if (!rpc_.network()->IsUp(self())) return;
+                          if (!rpc_.transport()->IsUp(self())) return;
                           if (staged_.count(KeyOf(tx)) == 0) return;
                           RunTerminationProtocol(tx);
                         });
@@ -736,14 +736,14 @@ void ReplicaNode::FinishPropagation(ObjectId object, NodeId target) {
   if (durable_) durable_->LogPropDone(object, target);
 }
 
-void ReplicaNode::SchedulePropagation(sim::Time delay) {
+void ReplicaNode::SchedulePropagation(rt::Time delay) {
   if (propagation_scheduled_ || propagation_round_active_) return;
   propagation_scheduled_ = true;
   uint64_t epoch = termination_epoch_;
-  simulator()->Schedule(delay, [this, epoch] {
+  runtime()->Schedule(delay, [this, epoch] {
     if (epoch != termination_epoch_) return;
     propagation_scheduled_ = false;
-    if (!rpc_.network()->IsUp(self())) return;
+    if (!rpc_.transport()->IsUp(self())) return;
     RunPropagationRound();
   });
 }
@@ -779,10 +779,10 @@ void ReplicaNode::RunPropagationRound() {
   // Round bookkeeping: re-arm after one retry delay; completions erase
   // targets, so the next round only re-offers what is still pending.
   uint64_t epoch = termination_epoch_;
-  simulator()->Schedule(options_.propagation_retry_delay, [this, epoch] {
+  runtime()->Schedule(options_.propagation_retry_delay, [this, epoch] {
     if (epoch != termination_epoch_) return;
     propagation_round_active_ = false;
-    if (!rpc_.network()->IsUp(self())) return;
+    if (!rpc_.transport()->IsUp(self())) return;
     if (HasPendingPropagation()) {
       SchedulePropagation(options_.propagation_retry_delay);
     }
@@ -796,7 +796,7 @@ void ReplicaNode::OfferPropagation(ObjectId object, NodeId target) {
   offer->source_version = objects_.at(object).version();
   offer->transfer_id = transfer_id;
   counters_.propagation_offers_sent->Increment();
-  simulator()->tracer().Instant("prop", "prop.offer", self_,
+  runtime()->tracer().Instant("prop", "prop.offer", self_,
                                 {{"object", std::to_string(object)},
                                  {"target", std::to_string(target)}});
 
@@ -873,7 +873,7 @@ Result<PayloadPtr> ReplicaNode::HandlePropOffer(NodeId from,
   // abandoned transfer after the lock lease.
   uint64_t epoch = termination_epoch_;
   ObjectId object = req.object;
-  simulator()->Schedule(options_.lock_lease, [this, object, owner, epoch] {
+  runtime()->Schedule(options_.lock_lease, [this, object, owner, epoch] {
     if (epoch != termination_epoch_) return;
     storage::ReplicaStore& st = objects_.at(object);
     if (st.locked_for_propagation() && st.HoldsLock(owner)) {
@@ -927,7 +927,7 @@ Result<PayloadPtr> ReplicaNode::HandlePropData(NodeId from,
     store.ClearStale();
     if (durable_) durable_->LogClearStale(req.object);
     counters_.propagations_received->Increment();
-    simulator()->tracer().Instant("prop", "prop.caught_up", self_,
+    runtime()->tracer().Instant("prop", "prop.caught_up", self_,
                                   {{"object", std::to_string(req.object)},
                                    {"version",
                                     std::to_string(store.version())}});

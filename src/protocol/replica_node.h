@@ -40,22 +40,22 @@ struct ReplicaNodeOptions {
   /// operation is allowed to steal it. Guards against coordinators that
   /// died between the lock round and 2PC prepare. Staged (prepared)
   /// locks never expire — that is 2PC's blocking nature.
-  sim::Time lock_lease = 500.0;
+  rt::Time lock_lease = 500.0;
 
   /// How often a prepared participant runs cooperative termination when
   /// it has not heard the transaction outcome.
-  sim::Time termination_poll_interval = 60.0;
+  rt::Time termination_poll_interval = 60.0;
 
   /// Pause before re-offering propagation ("pause(some-time)" in the
   /// Propagate pseudocode) and between propagation rounds.
-  sim::Time propagation_retry_delay = 25.0;
+  rt::Time propagation_retry_delay = 25.0;
 
   /// Delay before a committed node starts its propagation round (lets
   /// the triggering operation's messages drain first).
-  sim::Time propagation_start_delay = 5.0;
+  rt::Time propagation_start_delay = 5.0;
 
   /// RPC timeout for this node's outgoing calls.
-  sim::Time rpc_timeout = 100.0;
+  rt::Time rpc_timeout = 100.0;
 
   /// Durable storage engine (simulated disk + WAL). Disabled by default:
   /// the node then models the paper's ideal persistent store (RAM state
@@ -115,17 +115,17 @@ class ReplicaNode : public net::RpcService {
 
   /// Hosts one object per entry of `initial_values` (ids 0..K-1), all
   /// sharing one epoch record initialized to (0, all_nodes).
-  ReplicaNode(net::Network* network, NodeId self, NodeSet all_nodes,
+  ReplicaNode(rt::Transport* transport, NodeId self, NodeSet all_nodes,
               const coterie::CoterieRule* rule,
               std::vector<std::vector<uint8_t>> initial_values,
               ReplicaNodeOptions options = {});
 
   /// Single-object convenience constructor.
-  ReplicaNode(net::Network* network, NodeId self, NodeSet all_nodes,
+  ReplicaNode(rt::Transport* transport, NodeId self, NodeSet all_nodes,
               const coterie::CoterieRule* rule,
               std::vector<uint8_t> initial_value,
               ReplicaNodeOptions options = {})
-      : ReplicaNode(network, self, std::move(all_nodes), rule,
+      : ReplicaNode(transport, self, std::move(all_nodes), rule,
                     std::vector<std::vector<uint8_t>>{
                         std::move(initial_value)},
                     options) {}
@@ -150,7 +150,10 @@ class ReplicaNode : public net::RpcService {
   const ReplicaNodeOptions& options() const { return options_; }
   /// Snapshot of this node's registry counters ("node.<id>.*").
   ReplicaNodeStats stats() const;
-  sim::Simulator* simulator() { return rpc_.network()->simulator(); }
+  /// The runtime hosting this node's execution context: the shared
+  /// simulator on the sim backend, the node's private runtime on the
+  /// socket backend.
+  rt::Runtime* runtime() { return rpc_.runtime(); }
 
   /// Fail-stop crash: volatile state (locks, lock leases, outstanding
   /// RPCs) evaporates. Persistent state — the stores, the staged 2PC
@@ -258,7 +261,7 @@ class ReplicaNode : public net::RpcService {
   /// requester wound younger non-staged holders.
   [[nodiscard]]
   Status TryLock(ObjectId object, const LockOwner& owner, bool exclusive,
-                 sim::Time op_started = 0);
+                 rt::Time op_started = 0);
   bool LockIsStaged(const LockOwner& owner) const;
   void UnlockEverywhere(const LockOwner& owner);
 
@@ -272,7 +275,7 @@ class ReplicaNode : public net::RpcService {
   void ArmTerminationTimer(const LockOwner& tx);
   void RunTerminationProtocol(const LockOwner& tx);
 
-  void SchedulePropagation(sim::Time delay);
+  void SchedulePropagation(rt::Time delay);
   void RunPropagationRound();
   void OfferPropagation(ObjectId object, NodeId target);
   bool HasPendingPropagation() const;
@@ -329,8 +332,8 @@ class ReplicaNode : public net::RpcService {
   std::map<ObjectId, NodeSet> pending_propagation_;
 
   // Volatile.
-  std::map<TxKey, sim::Time> lock_acquired_at_;
-  std::map<TxKey, sim::Time> op_started_at_;  ///< Wound-wait priorities.
+  std::map<TxKey, rt::Time> lock_acquired_at_;
+  std::map<TxKey, rt::Time> op_started_at_;  ///< Wound-wait priorities.
   bool propagation_scheduled_ = false;
   bool propagation_round_active_ = false;
   uint64_t termination_epoch_ = 0;  ///< Invalidates stale timers.

@@ -27,7 +27,7 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
 
   coordinator->BeginCoordinatedTx(tx);
 
-  sim::Simulator* sim = coordinator->simulator();
+  rt::Runtime* sim = coordinator->runtime();
   sim->metrics().counter("twopc.started")->Increment();
   sim->tracer().BeginSpan(
       "2pc", "2pc.prepare", tx.coordinator, TxSpanId(tx),
@@ -57,7 +57,7 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
   auto run_phase2 = [state](TxOutcome outcome) {
     if (state->on_decide) state->on_decide(outcome);
 
-    sim::Simulator* simulator = state->coordinator->simulator();
+    rt::Runtime* simulator = state->coordinator->runtime();
     const bool committed = outcome == TxOutcome::kCommitted;
     const uint64_t span_id = TxSpanId(state->tx);
     const char* phase2_span = committed ? "2pc.commit" : "2pc.abort";
@@ -89,7 +89,7 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
         [state, outcome, phase2_span, span_id](net::GatherResult) {
           // Unreachable participants resolve via cooperative termination;
           // the transaction outcome is already decided either way.
-          state->coordinator->simulator()->tracer().EndSpan(
+          state->coordinator->runtime()->tracer().EndSpan(
               "2pc", phase2_span, state->tx.coordinator, span_id, {});
           if (outcome == TxOutcome::kCommitted) {
             state->done(Status::OK());
@@ -113,7 +113,7 @@ void TwoPhaseCommit::Run(ReplicaNode* coordinator, const LockOwner& tx,
   };
 
   if (state->expected == 0) {
-    coordinator->simulator()->Schedule(0, [finish_phase1] { finish_phase1(); });
+    coordinator->runtime()->Schedule(0, [finish_phase1] { finish_phase1(); });
     return;
   }
 

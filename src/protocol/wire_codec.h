@@ -1,0 +1,33 @@
+#ifndef DCP_PROTOCOL_WIRE_CODEC_H_
+#define DCP_PROTOCOL_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "runtime/socket_transport.h"
+
+namespace dcp::protocol {
+
+/// Serializes a full net::Message — envelope (src, dst, rpc id, kind,
+/// status, type) plus the typed payload — for the socket transport's
+/// length-prefixed frames. Payload bodies reuse the store::ByteWriter
+/// vocabulary and action_codec's StagedAction encoding, so the wire
+/// format shares one fixed-width little-endian dialect with the WAL.
+///
+/// Returns an empty buffer for a message whose type/kind has no
+/// registered payload encoding (a programming error — the vocabulary is
+/// closed; see messages.h).
+std::vector<uint8_t> EncodeMessage(const net::Message& msg);
+
+/// Inverse of EncodeMessage. Returns false on malformed input (bad
+/// envelope, unknown type, truncated payload) and leaves `out`
+/// unspecified.
+bool DecodeMessage(const uint8_t* data, size_t len, net::Message* out);
+
+/// The protocol vocabulary's codec, packaged for SocketTransport.
+rt::WireCodec MakeWireCodec();
+
+}  // namespace dcp::protocol
+
+#endif  // DCP_PROTOCOL_WIRE_CODEC_H_

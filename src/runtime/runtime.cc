@@ -1,0 +1,36 @@
+#include "runtime/runtime.h"
+
+#include <utility>
+
+namespace dcp::rt {
+
+PeriodicTimer::PeriodicTimer(Runtime* runtime, Time initial_delay, Time period,
+                             std::function<void()> fn)
+    : state_(std::make_shared<State>()) {
+  state_->runtime = runtime;
+  state_->period = period;
+  state_->fn = std::move(fn);
+  Arm(state_, initial_delay);
+}
+
+void PeriodicTimer::Arm(const std::shared_ptr<State>& state, Time delay) {
+  // The closure shares ownership of the state: `fn` may Stop() or destroy
+  // the PeriodicTimer itself, and the re-arm check below must still read
+  // live memory afterwards.
+  state->pending = state->runtime->Schedule(delay, [state] {
+    state->pending = TimerId{};
+    if (!state->running) return;
+    state->fn();
+    if (state->running) Arm(state, state->period);
+  });
+}
+
+void PeriodicTimer::Stop() {
+  state_->running = false;
+  if (state_->pending.valid()) {
+    state_->runtime->Cancel(state_->pending);
+    state_->pending = TimerId{};
+  }
+}
+
+}  // namespace dcp::rt

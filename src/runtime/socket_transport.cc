@@ -1,0 +1,549 @@
+#include "runtime/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dcp::rt {
+
+namespace {
+
+/// Frames larger than this are treated as stream corruption.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+/// Messages drained from one node's inbox per worker pass, bounding how
+/// long one busy node can hold a worker while others wait.
+constexpr size_t kDrainBatch = 64;
+/// Poll timeout ceiling: even with no timers the I/O thread wakes at
+/// this cadence to re-check the stop flag.
+constexpr int kMaxPollMs = 100;
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+/// Per-node execution context: mailbox (decoded inbound messages +
+/// posted closures), timer heap, and a private observability context.
+/// Mailbox and timers are mutex-guarded; the closures and message
+/// handlers themselves run exclusively on whichever worker holds the
+/// node (the `queued` flag arbitrates), giving per-node single-threaded
+/// semantics with cross-worker happens-before from the queue mutexes.
+class SocketTransport::NodeLoop final : public Runtime {
+ public:
+  NodeLoop(SocketTransport* transport, NodeId id)
+      : transport_(transport), id_(id) {
+    obs_.tracer.set_clock([this] { return Now(); });
+  }
+
+  // rt::Runtime:
+  Time Now() const override { return transport_->NowMs(); }
+
+  TimerId Schedule(Time delay, std::function<void()> fn) override {
+    return ScheduleAt(Now() + std::max<Time>(delay, 0), std::move(fn));
+  }
+
+  TimerId ScheduleAt(Time when, std::function<void()> fn) override {
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = next_timer_seq_++;
+      timers_.emplace(std::make_pair(when, seq), std::move(fn));
+      timer_deadline_.emplace(seq, when);
+    }
+    // Only interrupt the I/O thread's sleep for deadlines earlier than
+    // the one it is sleeping toward (RPC-timeout timers, the common
+    // case, are far in the future and never cost a wakeup).
+    if (when < transport_->io_deadline_.load(std::memory_order_acquire)) {
+      transport_->WakeIo();
+    }
+    return TimerId{seq, id_};
+  }
+
+  bool Cancel(TimerId id) override {
+    if (!id.valid()) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = timer_deadline_.find(id.seq);
+    if (it == timer_deadline_.end()) return false;
+    timers_.erase(std::make_pair(it->second, id.seq));
+    timer_deadline_.erase(it);
+    return true;
+  }
+
+  obs::Observability& obs() override { return obs_; }
+  const obs::Observability& obs() const override { return obs_; }
+
+ private:
+  friend class SocketTransport;
+
+  SocketTransport* transport_;
+  NodeId id_;
+  obs::Observability obs_;
+  std::atomic<bool> up_{true};
+  net::MessageSink* sink_ = nullptr;
+
+  std::mutex mu_;
+  std::deque<net::Message> inbox_;
+  std::deque<std::function<void()>> posted_;
+  /// True while the node sits in the ready queue or a worker drains it;
+  /// guarantees at most one worker runs this node's code at a time.
+  bool queued_ = false;
+
+  // Timers, ordered by (deadline, seq); `timer_deadline_` maps a live
+  // timer's seq to its key so Cancel is a lookup, not a scan.
+  std::map<std::pair<Time, uint64_t>, std::function<void()>> timers_;
+  std::map<uint64_t, Time> timer_deadline_;
+  uint64_t next_timer_seq_ = 1;
+};
+
+SocketTransport::SocketTransport(SocketTransportOptions options)
+    : options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()) {  // dcp-lint: allow(wall-clock) — epoch of this backend's monotonic clock
+  assert(options_.num_nodes > 0);
+  assert(options_.codec.encode && options_.codec.decode &&
+         "SocketTransport needs a wire codec (see protocol::MakeWireCodec)");
+  loops_.reserve(options_.num_nodes);
+  for (uint32_t i = 0; i < options_.num_nodes; ++i) {
+    loops_.push_back(std::make_unique<NodeLoop>(this, NodeId{i}));
+  }
+  ep_.resize(options_.num_nodes);
+  for (auto& row : ep_) row.resize(options_.num_nodes);
+}
+
+SocketTransport::~SocketTransport() { Stop(); }
+
+Time SocketTransport::NowMs() const {
+  auto d = std::chrono::steady_clock::now() - epoch_;  // dcp-lint: allow(wall-clock) — the socket backend's Runtime clock is real time by definition
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+SocketTransport::NodeLoop* SocketTransport::loop(NodeId node) const {
+  assert(node < loops_.size());
+  return loops_[node].get();
+}
+
+Status SocketTransport::Start() {
+  if (started_.load()) return Status::OK();
+  const uint32_t n = options_.num_nodes;
+
+  // One loopback listener per node, ephemeral port.
+  listen_fds_.assign(n, -1);
+  std::vector<uint16_t> ports(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Errno("bind");
+    }
+    if (::listen(fd, static_cast<int>(n)) != 0) return Errno("listen");
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ports[i] = ntohs(addr.sin_port);
+    listen_fds_[i] = fd;
+  }
+
+  // Dial the full mesh: for each unordered pair {i, j} one connection,
+  // dialed i -> j. Loopback connects complete synchronously against a
+  // listening socket's backlog, so the matching accept follows inline.
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (cfd < 0) return Errno("socket");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(ports[j]);
+      if (::connect(cfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+        ::close(cfd);
+        return Errno("connect");
+      }
+      int afd = ::accept(listen_fds_[j], nullptr, nullptr);
+      if (afd < 0) {
+        ::close(cfd);
+        return Errno("accept");
+      }
+      int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      SetNonBlocking(cfd);
+      SetNonBlocking(afd);
+      auto at_i = std::make_unique<Endpoint>();
+      at_i->fd = cfd;
+      auto at_j = std::make_unique<Endpoint>();
+      at_j->fd = afd;
+      ep_[i][j] = std::move(at_i);
+      ep_[j][i] = std::move(at_j);
+    }
+  }
+
+  if (::pipe(wake_pipe_) != 0) return Errno("pipe");
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  uint32_t workers = options_.num_workers;
+  if (workers == 0) {
+    uint32_t hw = std::thread::hardware_concurrency();
+    workers = std::min(n, std::max(2u, hw / 2));
+    workers = std::min(workers, 8u);
+    workers = std::max(workers, 2u);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    stopping_ = false;
+  }
+  started_.store(true);
+  io_thread_ = std::thread([this] { IoThread(); });
+  workers_.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { WorkerThread(); });
+  }
+  return Status::OK();
+}
+
+void SocketTransport::Stop() {
+  if (!started_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    stopping_ = true;
+  }
+  ready_cv_.notify_all();
+  WakeIo();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  for (auto& row : ep_) {
+    for (auto& ep : row) {
+      if (ep && ep->fd >= 0) {
+        ::close(ep->fd);
+        ep->fd = -1;
+      }
+    }
+  }
+  for (int& fd : listen_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void SocketTransport::Register(NodeId node, net::MessageSink* sink) {
+  loop(node)->sink_ = sink;
+}
+
+void SocketTransport::SetNodeUp(NodeId node, bool up) {
+  loop(node)->up_.store(up, std::memory_order_release);
+}
+
+bool SocketTransport::IsUp(NodeId node) const {
+  return loop(node)->up_.load(std::memory_order_acquire);
+}
+
+Runtime* SocketTransport::runtime(NodeId node) { return loop(node); }
+
+void SocketTransport::set_send_tap(SendTap tap) {
+  assert(!started_.load() && "install the send tap before Start()");
+  send_tap_ = std::move(tap);
+}
+
+void SocketTransport::EnqueueReady(NodeLoop* l) {
+  bool enqueue = false;
+  {
+    std::lock_guard<std::mutex> lock(l->mu_);
+    if (!l->queued_ && (!l->inbox_.empty() || !l->posted_.empty())) {
+      l->queued_ = true;
+      enqueue = true;
+    }
+  }
+  if (enqueue) {
+    {
+      std::lock_guard<std::mutex> lock(ready_mu_);
+      ready_.push_back(l->id_);
+    }
+    ready_cv_.notify_one();
+  }
+}
+
+void SocketTransport::DeliverLocal(net::Message msg) {
+  NodeLoop* l = loop(msg.dst);
+  {
+    std::lock_guard<std::mutex> lock(l->mu_);
+    l->inbox_.push_back(std::move(msg));
+  }
+  EnqueueReady(l);
+}
+
+void SocketTransport::PostClosure(NodeId node, std::function<void()> fn) {
+  NodeLoop* l = loop(node);
+  {
+    std::lock_guard<std::mutex> lock(l->mu_);
+    l->posted_.push_back(std::move(fn));
+  }
+  EnqueueReady(l);
+}
+
+void SocketTransport::WakeIo() {
+  if (wake_pipe_[1] < 0) return;
+  char b = 1;
+  // A full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t r = ::write(wake_pipe_[1], &b, 1);
+}
+
+bool SocketTransport::WriteFrame(Endpoint& ep,
+                                 const std::vector<uint8_t>& payload) {
+  uint8_t hdr[4];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  hdr[0] = static_cast<uint8_t>(len & 0xff);
+  hdr[1] = static_cast<uint8_t>((len >> 8) & 0xff);
+  hdr[2] = static_cast<uint8_t>((len >> 16) & 0xff);
+  hdr[3] = static_cast<uint8_t>((len >> 24) & 0xff);
+
+  std::lock_guard<std::mutex> lock(ep.write_mu);
+  if (ep.fd < 0) return false;
+  const uint8_t* bufs[2] = {hdr, payload.data()};
+  size_t sizes[2] = {sizeof(hdr), payload.size()};
+  for (int part = 0; part < 2; ++part) {
+    const uint8_t* p = bufs[part];
+    size_t remaining = sizes[part];
+    while (remaining > 0) {
+      ssize_t n = ::send(ep.fd, p, remaining, MSG_NOSIGNAL);
+      if (n > 0) {
+        p += n;
+        remaining -= static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Loopback buffers rarely fill; when they do, block until the
+        // peer drains (the I/O thread is always reading).
+        pollfd pfd{ep.fd, POLLOUT, 0};
+        ::poll(&pfd, 1, kMaxPollMs);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // Peer gone (EPIPE/ECONNRESET) or shutdown.
+    }
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SocketTransport::Send(net::Message msg, std::function<void()> on_failed) {
+  // A crashed node cannot emit messages (fail-stop) — mirrors the sim
+  // backend exactly.
+  if (!IsUp(msg.src)) return;
+  if (send_tap_) send_tap_(msg);
+
+  const NodeId src = msg.src;
+  const NodeId dst = msg.dst;
+  if (dst >= loops_.size()) {
+    if (on_failed) PostClosure(src, std::move(on_failed));
+    return;
+  }
+  // Fail fast on administratively-down destinations: the sender learns
+  // CallFailed without burning its RPC timeout, like the sim backend's
+  // delivery-time IsUp check.
+  if (!IsUp(dst)) {
+    if (on_failed) PostClosure(src, std::move(on_failed));
+    return;
+  }
+  if (dst == src) {
+    // Self-sends skip the kernel; mailbox FIFO preserves order.
+    DeliverLocal(std::move(msg));
+    return;
+  }
+
+  std::vector<uint8_t> payload = options_.codec.encode(msg);
+  if (payload.empty()) {
+    assert(false && "wire codec cannot encode message type");
+    if (on_failed) PostClosure(src, std::move(on_failed));
+    return;
+  }
+  Endpoint* ep = ep_[src][dst].get();
+  if (ep == nullptr || !WriteFrame(*ep, payload)) {
+    if (on_failed) PostClosure(src, std::move(on_failed));
+  }
+}
+
+void SocketTransport::ConsumeFrames(Endpoint& ep) {
+  size_t off = 0;
+  while (ep.rbuf.size() - off >= 4) {
+    const uint8_t* p = ep.rbuf.data() + off;
+    const uint32_t len = static_cast<uint32_t>(p[0]) |
+                         (static_cast<uint32_t>(p[1]) << 8) |
+                         (static_cast<uint32_t>(p[2]) << 16) |
+                         (static_cast<uint32_t>(p[3]) << 24);
+    if (len > kMaxFrameBytes) {
+      // Stream corruption; drop the connection's buffered bytes. The
+      // peers' RPC timeouts surface the loss.
+      ep.rbuf.clear();
+      return;
+    }
+    if (ep.rbuf.size() - off - 4 < len) break;
+    net::Message msg;
+    if (options_.codec.decode(p + 4, len, &msg)) {
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      if (msg.dst < loops_.size()) DeliverLocal(std::move(msg));
+    }
+    off += 4 + len;
+  }
+  if (off > 0) ep.rbuf.erase(ep.rbuf.begin(), ep.rbuf.begin() + static_cast<long>(off));
+}
+
+void SocketTransport::IoThread() {
+  std::vector<pollfd> fds;
+  std::vector<Endpoint*> eps;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(ready_mu_);
+      if (stopping_) return;
+    }
+
+    // Fire due timers and find the next deadline across all nodes.
+    const Time now = NowMs();
+    Time next_deadline = now + kMaxPollMs;
+    for (auto& l : loops_) {
+      bool fired = false;
+      {
+        std::lock_guard<std::mutex> lock(l->mu_);
+        while (!l->timers_.empty() && l->timers_.begin()->first.first <= now) {
+          auto it = l->timers_.begin();
+          l->timer_deadline_.erase(it->first.second);
+          l->posted_.push_back(std::move(it->second));
+          l->timers_.erase(it);
+          fired = true;
+        }
+        if (!l->timers_.empty()) {
+          next_deadline =
+              std::min(next_deadline, l->timers_.begin()->first.first);
+        }
+      }
+      if (fired) EnqueueReady(l.get());
+    }
+    io_deadline_.store(next_deadline, std::memory_order_release);
+
+    fds.clear();
+    eps.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    eps.push_back(nullptr);
+    for (auto& row : ep_) {
+      for (auto& ep : row) {
+        if (ep && ep->fd >= 0) {
+          fds.push_back(pollfd{ep->fd, POLLIN, 0});
+          eps.push_back(ep.get());
+        }
+      }
+    }
+
+    int timeout_ms = static_cast<int>(next_deadline - NowMs()) + 1;
+    timeout_ms = std::max(0, std::min(timeout_ms, kMaxPollMs));
+    int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) return;
+    if (rc <= 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    for (size_t i = 1; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Endpoint& ep = *eps[i];
+      uint8_t buf[64 * 1024];
+      for (;;) {
+        ssize_t n = ::recv(ep.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          ep.rbuf.insert(ep.rbuf.end(), buf, buf + n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        break;  // Peer closed; poll stops reporting once drained.
+      }
+      ConsumeFrames(ep);
+    }
+  }
+}
+
+void SocketTransport::WorkerThread() {
+  for (;;) {
+    uint32_t node;
+    {
+      std::unique_lock<std::mutex> lock(ready_mu_);
+      ready_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+      if (stopping_) return;
+      node = ready_.front();
+      ready_.pop_front();
+    }
+    NodeLoop* l = loop(node);
+
+    std::deque<std::function<void()>> closures;
+    std::deque<net::Message> messages;
+    {
+      std::lock_guard<std::mutex> lock(l->mu_);
+      closures.swap(l->posted_);
+      size_t take = std::min(l->inbox_.size(), kDrainBatch);
+      for (size_t i = 0; i < take; ++i) {
+        messages.push_back(std::move(l->inbox_.front()));
+        l->inbox_.pop_front();
+      }
+    }
+
+    // Posted closures first: timer firings and failed-send notifications
+    // precede newly-arrived messages, roughly matching the sim's
+    // schedule-order semantics.
+    for (auto& fn : closures) fn();
+    for (auto& m : messages) {
+      if (l->sink_ != nullptr) l->sink_->Deliver(std::move(m));
+    }
+
+    bool more = false;
+    {
+      std::lock_guard<std::mutex> lock(l->mu_);
+      if (l->inbox_.empty() && l->posted_.empty()) {
+        l->queued_ = false;
+      } else {
+        more = true;  // Keep queued_; re-enter the ready queue.
+      }
+    }
+    if (more) {
+      {
+        std::lock_guard<std::mutex> lock(ready_mu_);
+        ready_.push_back(l->id_);
+      }
+      ready_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace dcp::rt

@@ -1,0 +1,162 @@
+#ifndef DCP_RUNTIME_SOCKET_TRANSPORT_H_
+#define DCP_RUNTIME_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/message.h"
+#include "runtime/transport.h"
+#include "util/node_set.h"
+#include "util/status.h"
+
+namespace dcp::rt {
+
+/// Serializes protocol messages for the wire. The runtime layer knows
+/// nothing about payload types — the protocol layer supplies the codec
+/// (see protocol::MakeWireCodec), keeping the dependency arrow pointing
+/// the right way. `encode` returns the frame payload (length prefix is
+/// the transport's job); an empty result marks the message unencodable
+/// and the send fails. `decode` returns false on a malformed frame.
+struct WireCodec {
+  std::function<std::vector<uint8_t>(const net::Message&)> encode;
+  std::function<bool(const uint8_t* data, size_t len, net::Message* out)>
+      decode;
+};
+
+struct SocketTransportOptions {
+  uint32_t num_nodes = 0;
+  /// Worker threads draining node mailboxes. 0 picks a default from the
+  /// node count and hardware concurrency (at least 2, so real thread
+  /// interleavings happen even on tiny machines).
+  uint32_t num_workers = 0;
+  WireCodec codec;
+};
+
+/// The real-threads backend of the transport/runtime seam: a full TCP
+/// mesh over loopback carrying length-prefixed frames, one I/O thread,
+/// and a worker pool draining per-node mailboxes.
+///
+/// Threading model (see DESIGN.md section 11):
+///  - The I/O thread owns every socket's read side: poll() over the mesh
+///    plus a self-pipe, framing, decode, and routing into the
+///    destination node's mailbox. Its poll timeout doubles as the timer
+///    wheel — due timers are moved into their node's mailbox as posted
+///    closures.
+///  - Workers pop ready nodes from a shared queue. A node is drained by
+///    at most one worker at a time (a `queued` flag arbitrates), so
+///    protocol code stays effectively single-threaded per node — the
+///    same actor model the simulator provides, minus determinism.
+///  - Sends happen synchronously on whatever thread called Send (worker
+///    or harness), under a per-connection write mutex.
+///
+/// Each node gets a private Runtime (monotonic wall clock, thread-safe
+/// timers, its own Observability — counters are not atomic, and mailbox
+/// hand-offs give the per-node happens-before edges). All interaction
+/// with a node from outside must be posted onto its runtime.
+///
+/// Fail-stop administration: SetNodeUp(node, false) makes the node drop
+/// inbound traffic (via the sink's IsUp guard, exactly like the sim
+/// backend) and makes sends to it fail fast at the sender. Threads and
+/// sockets stay alive — this transport models crashes, it does not
+/// perform them.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportOptions options);
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Binds loopback listeners, dials the full mesh, and starts the I/O
+  /// and worker threads. Register every sink before sending traffic.
+  [[nodiscard]] Status Start();
+
+  /// Clean shutdown: drains nothing, joins every thread, closes every
+  /// socket. Idempotent; the destructor calls it. Pending timers and
+  /// queued messages are discarded.
+  void Stop();
+
+  // rt::Transport:
+  void Register(NodeId node, net::MessageSink* sink) override;
+  void SetNodeUp(NodeId node, bool up) override;
+  bool IsUp(NodeId node) const override;
+  void Send(net::Message msg,
+            std::function<void()> on_failed = nullptr) override;
+  Runtime* runtime(NodeId node) override;
+  void set_send_tap(SendTap tap) override;
+
+  /// Frames actually written to / read from sockets (self-sends bypass
+  /// the wire and are not counted).
+  uint64_t frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_received() const {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class NodeLoop;
+
+  struct Endpoint {
+    int fd = -1;
+    std::mutex write_mu;         ///< Serializes whole frames.
+    std::vector<uint8_t> rbuf;   ///< I/O-thread-only read buffer.
+  };
+
+  Time NowMs() const;
+  NodeLoop* loop(NodeId node) const;
+  /// Enqueues a decoded message into `dst`'s mailbox (any thread).
+  void DeliverLocal(net::Message msg);
+  /// Enqueues a closure onto `node`'s mailbox (any thread).
+  void PostClosure(NodeId node, std::function<void()> fn);
+  void EnqueueReady(NodeLoop* l);
+  void WakeIo();
+  bool WriteFrame(Endpoint& ep, const std::vector<uint8_t>& payload);
+  void IoThread();
+  void WorkerThread();
+  /// Drains `ep.rbuf` into complete frames; decodes and routes them.
+  void ConsumeFrames(Endpoint& ep);
+
+  SocketTransportOptions options_;
+  std::vector<std::unique_ptr<NodeLoop>> loops_;
+
+  // ep_[i][j]: the socket endpoint node i writes to reach node j
+  // (i != j). Both directions of a pair share one TCP connection; each
+  // side holds its own endpoint fd. All endpoint read sides are polled
+  // by the I/O thread.
+  std::vector<std::vector<std::unique_ptr<Endpoint>>> ep_;
+  std::vector<int> listen_fds_;
+  int wake_pipe_[2] = {-1, -1};
+
+  SendTap send_tap_;  ///< Install before Start; may run on any thread.
+
+  std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+  std::deque<uint32_t> ready_;
+  bool stopping_ = false;
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+
+  /// The deadline the I/O thread is currently sleeping toward; Schedule
+  /// only wakes it for earlier deadlines.
+  std::atomic<double> io_deadline_{0};
+
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> frames_received_{0};
+
+  std::chrono::steady_clock::time_point epoch_;  // dcp-lint: allow(wall-clock) — this backend's monotonic clock IS wall time
+};
+
+}  // namespace dcp::rt
+
+#endif  // DCP_RUNTIME_SOCKET_TRANSPORT_H_

@@ -141,33 +141,4 @@ void Simulator::RunUntil(Time deadline) {
   if (now_ < deadline) now_ = deadline;
 }
 
-PeriodicTask::PeriodicTask(Simulator* sim, Time initial_delay, Time period,
-                           std::function<void()> fn)
-    : state_(std::make_shared<State>()) {
-  state_->sim = sim;
-  state_->period = period;
-  state_->fn = std::move(fn);
-  Arm(state_, initial_delay);
-}
-
-void PeriodicTask::Arm(const std::shared_ptr<State>& state, Time delay) {
-  // The closure shares ownership of the state: `fn` may Stop() or destroy
-  // the PeriodicTask itself, and the re-arm check below must still read
-  // live memory afterwards.
-  state->pending = state->sim->Schedule(delay, [state] {
-    state->pending = EventId{};
-    if (!state->running) return;
-    state->fn();
-    if (state->running) Arm(state, state->period);
-  });
-}
-
-void PeriodicTask::Stop() {
-  state_->running = false;
-  if (state_->pending.valid()) {
-    state_->sim->Cancel(state_->pending);
-    state_->pending = EventId{};
-  }
-}
-
 }  // namespace dcp::sim

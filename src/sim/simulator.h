@@ -7,21 +7,19 @@
 #include <vector>
 
 #include "obs/observability.h"
+#include "runtime/runtime.h"
 
 namespace dcp::sim {
 
 /// Virtual time, in arbitrary units (the availability benches interpret it
 /// as hours; the protocol layer as milliseconds — the kernel doesn't care).
-using Time = double;
+using Time = rt::Time;
 
 /// Opaque handle identifying a scheduled event, usable to cancel it.
 /// `seq` is the event's insertion sequence number (the generation tag);
-/// `slot` locates its storage so Cancel never searches.
-struct EventId {
-  uint64_t seq = 0;
-  uint32_t slot = 0;
-  bool valid() const { return seq != 0; }
-};
+/// `slot` locates its storage so Cancel never searches. Identical to the
+/// runtime seam's timer handle — the simulator IS the sim-backend Runtime.
+using EventId = rt::TimerId;
 
 /// Deterministic discrete-event simulation kernel.
 ///
@@ -39,33 +37,38 @@ struct EventId {
 /// (time, seq) order is a strict total order and tombstones are invisible
 /// to execution, lazy cancellation cannot reorder anything — same-seed
 /// runs are byte-identical to the eager-erase implementation.
-class Simulator {
+///
+/// The simulator is the sim backend of the `rt::Runtime` seam: protocol
+/// and storage code written against Runtime runs here deterministically.
+/// `final` keeps calls through a concrete `Simulator*` devirtualized, so
+/// the event-queue hot path pays nothing for the seam.
+class Simulator final : public rt::Runtime {
  public:
   Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  Time Now() const { return now_; }
+  Time Now() const override { return now_; }
 
   /// The simulation's observability context. The tracer's clock is wired
   /// to this simulator's virtual time; layers above reach metrics and
-  /// tracing through their simulator pointer.
-  obs::Observability& obs() { return obs_; }
-  const obs::Observability& obs() const { return obs_; }
+  /// tracing through their runtime pointer.
+  obs::Observability& obs() override { return obs_; }
+  const obs::Observability& obs() const override { return obs_; }
   obs::MetricsRegistry& metrics() { return obs_.metrics; }
   obs::EventTracer& tracer() { return obs_.tracer; }
 
   /// Schedules `fn` to run at `Now() + delay` (delay must be >= 0).
-  EventId Schedule(Time delay, std::function<void()> fn);
+  EventId Schedule(Time delay, std::function<void()> fn) override;
 
   /// Schedules `fn` at absolute time `when` (>= Now()).
-  EventId ScheduleAt(Time when, std::function<void()> fn);
+  EventId ScheduleAt(Time when, std::function<void()> fn) override;
 
   /// Cancels a pending event. Returns false if it already ran or was
   /// cancelled. O(1): the closure is released immediately; the queue
   /// entry is discarded lazily.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
 
   /// Runs a single event. Returns false if the queue is empty.
   bool Step();
@@ -136,37 +139,10 @@ class Simulator {
   obs::Counter* cancelled_counter_;
 };
 
-/// Re-arms itself on a fixed period until stopped. Used for the paper's
-/// "steady pulse of epoch checking operations" (Section 4.3).
-///
-/// The callback may Stop() — or even destroy — the task: the scheduled
-/// closure owns the task state via a shared_ptr and never touches `this`,
-/// so nothing dangles when `fn` tears the task down mid-fire.
-class PeriodicTask {
- public:
-  /// Starts firing `fn` every `period`, first at `Now() + initial_delay`.
-  PeriodicTask(Simulator* sim, Time initial_delay, Time period,
-               std::function<void()> fn);
-  ~PeriodicTask() { Stop(); }
-  PeriodicTask(const PeriodicTask&) = delete;
-  PeriodicTask& operator=(const PeriodicTask&) = delete;
-
-  void Stop();
-  bool running() const { return state_->running; }
-
- private:
-  struct State {
-    Simulator* sim;
-    Time period;
-    std::function<void()> fn;
-    EventId pending{};
-    bool running = true;
-  };
-
-  static void Arm(const std::shared_ptr<State>& state, Time delay);
-
-  std::shared_ptr<State> state_;
-};
+/// Re-arms itself on a fixed period until stopped. Now backend-agnostic;
+/// see rt::PeriodicTimer. The alias keeps the historical sim-layer name
+/// for tests and sim-only callers.
+using PeriodicTask = rt::PeriodicTimer;
 
 }  // namespace dcp::sim
 

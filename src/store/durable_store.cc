@@ -87,7 +87,7 @@ bool GetState(ByteReader& r, RecoveredState* s) {
 
 }  // namespace
 
-DurableStore::DurableStore(sim::Simulator* sim,
+DurableStore::DurableStore(rt::Runtime* sim,
                            const DurabilityOptions& options)
     : sim_(sim),
       opt_(options),

@@ -24,7 +24,7 @@ struct DurabilityOptions {
   DiskOptions disk;
   DiskCrashModel crash;  ///< Seed is set per node by the cluster.
   /// Lazy-flush period for records appended without an explicit commit.
-  sim::Time flush_interval = 10.0;
+  rt::Time flush_interval = 10.0;
   /// Checkpoint once the durable log exceeds this many bytes.
   uint64_t checkpoint_threshold_bytes = 16 * 1024;
   /// Operation-id watermark stride: recovery skips the id space forward
@@ -85,7 +85,7 @@ struct RecoveryStats {
 /// in the commit path make the re-apply a no-op.
 class DurableStore {
  public:
-  DurableStore(sim::Simulator* sim, const DurabilityOptions& options);
+  DurableStore(rt::Runtime* sim, const DurabilityOptions& options);
 
   DurableStore(const DurableStore&) = delete;
   DurableStore& operator=(const DurableStore&) = delete;
@@ -168,7 +168,7 @@ class DurableStore {
   static void ApplyRecord(RecoveredState& state, uint8_t type,
                           ByteReader& r);
 
-  sim::Simulator* sim_;
+  rt::Runtime* sim_;
   DurabilityOptions opt_;
   SimDisk disk_;
   SimDisk::FileId wal_file_;

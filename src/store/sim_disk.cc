@@ -6,7 +6,7 @@
 
 namespace dcp::store {
 
-SimDisk::SimDisk(sim::Simulator* sim, DiskOptions options,
+SimDisk::SimDisk(rt::Runtime* sim, DiskOptions options,
                  DiskCrashModel crash)
     : sim_(sim), opt_(options), crash_model_(crash) {
   obs::MetricsRegistry& m = sim_->metrics();
@@ -33,7 +33,7 @@ uint64_t SimDisk::Append(FileId f, const uint8_t* data, size_t n) {
   return End(f);
 }
 
-sim::Time SimDisk::OpStart() const {
+rt::Time SimDisk::OpStart() const {
   return std::max(sim_->Now(), busy_until_);
 }
 
@@ -43,7 +43,7 @@ void SimDisk::Sync(FileId f, std::function<void()> done) {
   // appends ride the next barrier.
   const uint64_t flush_upto = End(f);
   const size_t flush_bytes = file.tail.size();
-  const sim::Time latency =
+  const rt::Time latency =
       opt_.sync_latency + static_cast<double>(flush_bytes) *
                               opt_.sync_byte_latency;
   busy_until_ = OpStart() + latency;
@@ -70,7 +70,7 @@ void SimDisk::Sync(FileId f, std::function<void()> done) {
 
 void SimDisk::Replace(FileId f, std::vector<uint8_t> contents,
                       std::function<void()> done) {
-  const sim::Time latency =
+  const rt::Time latency =
       opt_.replace_latency + static_cast<double>(contents.size()) *
                                  opt_.replace_byte_latency;
   busy_until_ = OpStart() + latency;

@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "util/random.h"
 
 namespace dcp::store {
@@ -18,11 +18,11 @@ namespace dcp::store {
 /// randomness outside of Crash()).
 struct DiskOptions {
   /// Fixed cost of a durability barrier (fsync).
-  sim::Time sync_latency = 0.5;
+  rt::Time sync_latency = 0.5;
   /// Additional cost per byte flushed by a sync.
   double sync_byte_latency = 0.0005;
   /// Fixed cost of an atomic whole-file replace (write-temp + rename).
-  sim::Time replace_latency = 1.0;
+  rt::Time replace_latency = 1.0;
   /// Additional cost per byte of the replacement contents.
   double replace_byte_latency = 0.0005;
 };
@@ -58,7 +58,7 @@ class SimDisk {
  public:
   using FileId = uint32_t;
 
-  SimDisk(sim::Simulator* sim, DiskOptions options, DiskCrashModel crash);
+  SimDisk(rt::Runtime* sim, DiskOptions options, DiskCrashModel crash);
 
   SimDisk(const SimDisk&) = delete;
   SimDisk& operator=(const SimDisk&) = delete;
@@ -123,14 +123,14 @@ class SimDisk {
 
   /// Serializes device operations: next op starts at
   /// max(now, busy_until_).
-  sim::Time OpStart() const;
+  rt::Time OpStart() const;
 
-  sim::Simulator* sim_;
+  rt::Runtime* sim_;
   DiskOptions opt_;
   DiskCrashModel crash_model_;
   std::optional<Rng> crash_rng_;  ///< Lazily seeded; independent stream.
   std::vector<File> files_;
-  sim::Time busy_until_ = 0;
+  rt::Time busy_until_ = 0;
   uint64_t incarnation_ = 0;  ///< Invalidates in-flight ops across crashes.
 
   // Registry handles ("disk.*"); shared registry => cluster-wide totals.

@@ -20,7 +20,7 @@ uint32_t FrameCrc(uint8_t type, const uint8_t* payload, uint32_t len) {
 
 }  // namespace
 
-Wal::Wal(sim::Simulator* sim, SimDisk* disk, SimDisk::FileId file,
+Wal::Wal(rt::Runtime* sim, SimDisk* disk, SimDisk::FileId file,
          WalOptions options)
     : sim_(sim), disk_(disk), file_(file), opt_(options) {
   obs::MetricsRegistry& m = sim_->metrics();

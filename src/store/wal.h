@@ -16,7 +16,7 @@ struct WalOptions {
   /// Records appended without an explicit Commit() (lazy bookkeeping —
   /// propagation-duty erasures, op-id watermarks) are flushed at most
   /// this much simulated time later, bounding the redo window.
-  sim::Time flush_interval = 10.0;
+  rt::Time flush_interval = 10.0;
 };
 
 /// What a recovery scan found in the durable image.
@@ -49,7 +49,7 @@ class Wal {
   static constexpr uint8_t kMagic = 0xD7;
   static constexpr size_t kHeaderSize = 10;
 
-  Wal(sim::Simulator* sim, SimDisk* disk, SimDisk::FileId file,
+  Wal(rt::Runtime* sim, SimDisk* disk, SimDisk::FileId file,
       WalOptions options);
 
   Wal(const Wal&) = delete;
@@ -92,7 +92,7 @@ class Wal {
   void IssueSync();
   void ScheduleLazyFlush();
 
-  sim::Simulator* sim_;
+  rt::Runtime* sim_;
   SimDisk* disk_;
   SimDisk::FileId file_;
   WalOptions opt_;

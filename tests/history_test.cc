@@ -8,7 +8,7 @@ namespace {
 using storage::Update;
 using storage::Version;
 
-HistoryRecorder::CommittedWrite W(Version v, Update u, sim::Time t) {
+HistoryRecorder::CommittedWrite W(Version v, Update u, rt::Time t) {
   HistoryRecorder::CommittedWrite w;
   w.version = v;
   w.update = std::move(u);
@@ -18,7 +18,7 @@ HistoryRecorder::CommittedWrite W(Version v, Update u, sim::Time t) {
 }
 
 HistoryRecorder::CompletedRead R(Version v, std::vector<uint8_t> data,
-                                 sim::Time start, sim::Time end) {
+                                 rt::Time start, rt::Time end) {
   HistoryRecorder::CompletedRead r;
   r.version = v;
   r.data = std::move(data);

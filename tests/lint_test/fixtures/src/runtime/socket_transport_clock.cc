@@ -1,0 +1,27 @@
+// dcp_lint fixture: the wall-clock rule inside a subdirectory that
+// mirrors the real src/runtime/ tree. The actual socket transport is
+// ALLOWED to read the monotonic clock — but only under an explicit
+// `// dcp-lint: allow(wall-clock)` carve-out. This fixture proves that
+// an unannotated clock read in runtime code is still a finding (the
+// carve-out is per-line, not per-directory), and that the fixture
+// runner discovers files below the top level of fixtures/src/.
+#include <chrono>
+
+namespace dcp::rt {
+
+double PollDeadlineMs() {
+  auto now = std::chrono::steady_clock::now();  // dcp-lint-expect: wall-clock
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+// Clean under the carve-out: this is the annotated form the real
+// transport uses.
+double AnnotatedPollDeadlineMs() {
+  // dcp-lint: allow(wall-clock)
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace dcp::rt

@@ -46,10 +46,22 @@ def run_lint(args):
     return proc.returncode, findings, proc.stdout + proc.stderr
 
 
+def discover_fixtures(fixture_dir):
+    """Fixture paths relative to fixture_dir, recursing into
+    subdirectories (fixtures may mirror the real src/ tree, e.g.
+    src/runtime/)."""
+    names = []
+    for dirpath, _, filenames in os.walk(fixture_dir):
+        for filename in filenames:
+            full = os.path.join(dirpath, filename)
+            names.append(os.path.relpath(full, fixture_dir))
+    return sorted(names)
+
+
 def main():
     failures = []
     fixture_dir = os.path.join(FIXTURES, "src")
-    names = sorted(os.listdir(fixture_dir))
+    names = discover_fixtures(fixture_dir)
     if not names:
         print("FAIL: no fixtures found in", fixture_dir)
         return 1
