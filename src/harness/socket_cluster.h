@@ -24,6 +24,10 @@ struct SocketClusterOptions {
   protocol::WriteOptions write_options;
   /// Forwarded to SocketTransportOptions (0 = auto).
   uint32_t num_workers = 0;
+  /// Forwarded to SocketTransportOptions — the bench harness compares
+  /// batched/pooled sends against the one-frame-per-syscall baseline.
+  uint32_t max_batch_frames = 64;
+  bool pool_buffers = true;
   /// Real-time budget for one synchronous client operation, in ms. Far
   /// above any loopback round trip; hitting it means the protocol
   /// wedged, and the caller gets kTimedOut instead of a hung test.

@@ -399,7 +399,14 @@ constexpr uint32_t kWireMagic = 0x44435031;  // "DCP1"
 }  // namespace
 
 std::vector<uint8_t> EncodeMessage(const net::Message& msg) {
-  ByteWriter w;
+  std::vector<uint8_t> out;
+  if (!EncodeMessageInto(msg, &out)) return {};
+  return out;
+}
+
+bool EncodeMessageInto(const net::Message& msg, std::vector<uint8_t>* out) {
+  const size_t base = out->size();
+  ByteWriter w(std::move(*out));
   w.U32(kWireMagic);
   w.U32(msg.src);
   w.U32(msg.dst);
@@ -413,12 +420,15 @@ std::vector<uint8_t> EncodeMessage(const net::Message& msg) {
   const std::string& type = msg.type.str();
   w.U32(static_cast<uint32_t>(type.size()));
   w.Raw(reinterpret_cast<const uint8_t*>(type.data()), type.size());
+  bool ok = true;
   if (msg.payload == nullptr) {
     w.U8(static_cast<uint8_t>(Body::kNone));
-  } else if (!PutPayload(w, msg.payload)) {
-    return {};
+  } else {
+    ok = PutPayload(w, msg.payload);
   }
-  return w.Take();
+  *out = w.Take();
+  if (!ok) out->resize(base);  // Leave the caller's prefix untouched.
+  return ok;
 }
 
 bool DecodeMessage(const uint8_t* data, size_t len, net::Message* out) {
@@ -434,15 +444,14 @@ bool DecodeMessage(const uint8_t* data, size_t len, net::Message* out) {
   out->kind = static_cast<net::Message::Kind>(kind);
   const uint8_t status_code = r.U8();
   if (status_code > static_cast<uint8_t>(StatusCode::kInternal)) return false;
-  std::vector<uint8_t> status_bytes = r.Bytes();
-  out->status = StatusFromWire(
-      status_code,
-      std::string(status_bytes.begin(), status_bytes.end()));
-  std::vector<uint8_t> type_bytes = r.Bytes();
+  // Envelope strings alias the frame buffer (no temporaries): the type
+  // interns directly from the view, and an OK status (the common case)
+  // carries no message bytes at all.
+  const std::string_view status_msg = r.BytesView();
+  out->status = StatusFromWire(status_code, std::string(status_msg));
+  const std::string_view type = r.BytesView();
   if (!r.ok()) return false;
-  out->type = net::TypeName(
-      std::string_view(reinterpret_cast<const char*>(type_bytes.data()),
-                       type_bytes.size()));
+  out->type = net::TypeName(type);
   bool payload_ok = true;
   out->payload = GetPayload(r, &payload_ok);
   return payload_ok && r.ok();
@@ -450,7 +459,9 @@ bool DecodeMessage(const uint8_t* data, size_t len, net::Message* out) {
 
 rt::WireCodec MakeWireCodec() {
   rt::WireCodec codec;
-  codec.encode = [](const net::Message& msg) { return EncodeMessage(msg); };
+  codec.encode = [](const net::Message& msg, std::vector<uint8_t>* out) {
+    return EncodeMessageInto(msg, out);
+  };
   codec.decode = [](const uint8_t* data, size_t len, net::Message* out) {
     return DecodeMessage(data, len, out);
   };

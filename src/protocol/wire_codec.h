@@ -20,9 +20,19 @@ namespace dcp::protocol {
 /// closed; see messages.h).
 std::vector<uint8_t> EncodeMessage(const net::Message& msg);
 
+/// Encode-into-span variant: appends the encoding to `*out`, preserving
+/// whatever the caller already put there (the socket transport reserves
+/// its 4-byte frame header up front, then patches it — header and
+/// payload share one pooled buffer, so a steady-state send allocates
+/// nothing and the frame goes out in a single writev). Returns false —
+/// with `*out` restored to its original length — for a message with no
+/// wire encoding.
+bool EncodeMessageInto(const net::Message& msg, std::vector<uint8_t>* out);
+
 /// Inverse of EncodeMessage. Returns false on malformed input (bad
 /// envelope, unknown type, truncated payload) and leaves `out`
-/// unspecified.
+/// unspecified. Envelope strings are interned straight out of `data`
+/// (no temporary copies), so the buffer only needs to outlive the call.
 bool DecodeMessage(const uint8_t* data, size_t len, net::Message* out);
 
 /// The protocol vocabulary's codec, packaged for SocketTransport.

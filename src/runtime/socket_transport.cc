@@ -6,9 +6,11 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cerrno>
 #include <cstring>
@@ -18,6 +20,8 @@ namespace dcp::rt {
 
 namespace {
 
+/// u32 little-endian length prefix preceding every frame's payload.
+constexpr size_t kFrameHeaderBytes = 4;
 /// Frames larger than this are treated as stream corruption.
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
 /// Messages drained from one node's inbox per worker pass, bounding how
@@ -26,6 +30,9 @@ constexpr size_t kDrainBatch = 64;
 /// Poll timeout ceiling: even with no timers the I/O thread wakes at
 /// this cadence to re-check the stop flag.
 constexpr int kMaxPollMs = 100;
+/// Stack-allocated iovec budget per writev; max_batch_frames clamps to
+/// this (well under any platform's IOV_MAX).
+constexpr size_t kMaxIovecs = 64;
 
 Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
@@ -34,6 +41,15 @@ Status Errno(const char* what) {
 void SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void PatchFrameHeader(std::vector<uint8_t>& frame) {
+  const uint32_t len =
+      static_cast<uint32_t>(frame.size() - kFrameHeaderBytes);
+  frame[0] = static_cast<uint8_t>(len & 0xff);
+  frame[1] = static_cast<uint8_t>((len >> 8) & 0xff);
+  frame[2] = static_cast<uint8_t>((len >> 16) & 0xff);
+  frame[3] = static_cast<uint8_t>((len >> 24) & 0xff);
 }
 
 }  // namespace
@@ -111,12 +127,25 @@ class SocketTransport::NodeLoop final : public Runtime {
   uint64_t next_timer_seq_ = 1;
 };
 
+namespace {
+
+util::BufferPoolOptions PoolOptions(const SocketTransportOptions& o) {
+  util::BufferPoolOptions p;
+  p.enabled = o.pool_buffers;
+  return p;
+}
+
+}  // namespace
+
 SocketTransport::SocketTransport(SocketTransportOptions options)
     : options_(std::move(options)),
+      pool_(PoolOptions(options_)),
       epoch_(std::chrono::steady_clock::now()) {  // dcp-lint: allow(wall-clock) — epoch of this backend's monotonic clock
   assert(options_.num_nodes > 0);
   assert(options_.codec.encode && options_.codec.decode &&
          "SocketTransport needs a wire codec (see protocol::MakeWireCodec)");
+  options_.max_batch_frames = std::max(options_.max_batch_frames, 1u);
+  options_.max_queue_frames = std::max<size_t>(options_.max_queue_frames, 1);
   loops_.reserve(options_.num_nodes);
   for (uint32_t i = 0; i < options_.num_nodes; ++i) {
     loops_.push_back(std::make_unique<NodeLoop>(this, NodeId{i}));
@@ -191,8 +220,12 @@ Status SocketTransport::Start() {
       SetNonBlocking(afd);
       auto at_i = std::make_unique<Endpoint>();
       at_i->fd = cfd;
+      at_i->owner = NodeId{i};
+      at_i->peer = NodeId{j};
       auto at_j = std::make_unique<Endpoint>();
       at_j->fd = afd;
+      at_j->owner = NodeId{j};
+      at_j->peer = NodeId{i};
       ep_[i][j] = std::move(at_i);
       ep_[j][i] = std::move(at_j);
     }
@@ -238,7 +271,25 @@ void SocketTransport::Stop() {
   workers_.clear();
   for (auto& row : ep_) {
     for (auto& ep : row) {
-      if (ep && ep->fd >= 0) {
+      if (!ep) continue;
+      // Mark broken under the queue lock first: a harness thread still
+      // inside Send sees `broken` before the fd goes away, so no write
+      // can race the close. An active flusher re-checks `broken` after
+      // its in-flight syscall — wait it out before closing the fd.
+      {
+        std::unique_lock<std::mutex> lock(ep->out_mu);
+        ep->broken.store(true, std::memory_order_release);
+        while (ep->flushing) {
+          lock.unlock();
+          std::this_thread::yield();
+          lock.lock();
+        }
+        for (auto& f : ep->outq) pool_.Release(std::move(f.bytes));
+        ep->outq.clear();
+        ep->outq_bytes = 0;
+        ep->out_off = 0;
+      }
+      if (ep->fd >= 0) {
         ::close(ep->fd);
         ep->fd = -1;
       }
@@ -277,6 +328,18 @@ void SocketTransport::set_send_tap(SendTap tap) {
   send_tap_ = std::move(tap);
 }
 
+TransportCounters SocketTransport::counters() const {
+  TransportCounters c;
+  c.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  c.frames_received = frames_received_.load(std::memory_order_relaxed);
+  c.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  c.decode_failures = decode_failures_.load(std::memory_order_relaxed);
+  c.send_queue_overflows =
+      send_queue_overflows_.load(std::memory_order_relaxed);
+  c.writev_calls = writev_calls_.load(std::memory_order_relaxed);
+  return c;
+}
+
 void SocketTransport::EnqueueReady(NodeLoop* l) {
   bool enqueue = false;
   {
@@ -304,6 +367,36 @@ void SocketTransport::DeliverLocal(net::Message msg) {
   EnqueueReady(l);
 }
 
+void SocketTransport::DeliverBatch(std::vector<net::Message> batch) {
+  // One mailbox lock + one ready-queue wakeup per destination run. On a
+  // mesh endpoint every frame targets the same node, so the whole batch
+  // is usually a single run.
+  size_t i = 0;
+  while (i < batch.size()) {
+    const NodeId dst = batch[i].dst;
+    NodeLoop* l = loop(dst);
+    bool enqueue = false;
+    {
+      std::lock_guard<std::mutex> lock(l->mu_);
+      while (i < batch.size() && batch[i].dst == dst) {
+        l->inbox_.push_back(std::move(batch[i]));
+        ++i;
+      }
+      if (!l->queued_) {
+        l->queued_ = true;  // Inbox is non-empty by construction.
+        enqueue = true;
+      }
+    }
+    if (enqueue) {
+      {
+        std::lock_guard<std::mutex> lock(ready_mu_);
+        ready_.push_back(l->id_);
+      }
+      ready_cv_.notify_one();
+    }
+  }
+}
+
 void SocketTransport::PostClosure(NodeId node, std::function<void()> fn) {
   NodeLoop* l = loop(node);
   {
@@ -320,42 +413,131 @@ void SocketTransport::WakeIo() {
   [[maybe_unused]] ssize_t r = ::write(wake_pipe_[1], &b, 1);
 }
 
-bool SocketTransport::WriteFrame(Endpoint& ep,
-                                 const std::vector<uint8_t>& payload) {
-  uint8_t hdr[4];
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  hdr[0] = static_cast<uint8_t>(len & 0xff);
-  hdr[1] = static_cast<uint8_t>((len >> 8) & 0xff);
-  hdr[2] = static_cast<uint8_t>((len >> 16) & 0xff);
-  hdr[3] = static_cast<uint8_t>((len >> 24) & 0xff);
+SocketTransport::FlushResult SocketTransport::FlushWith(
+    Endpoint& ep, std::unique_lock<std::mutex>& lock) {
+  assert(lock.owns_lock());
+  // Single-flusher protocol: whoever sets `flushing` owns the drain
+  // until the queue empties or the socket blocks. Everyone else just
+  // appended their frame — the active flusher will pick it up, which is
+  // exactly where multi-frame batches come from.
+  if (ep.flushing) return FlushResult::kDrained;
+  ep.flushing = true;
+  FlushResult result = FlushResult::kDrained;
+  for (;;) {
+    if (ep.broken.load(std::memory_order_acquire)) {
+      result = FlushResult::kError;
+      break;
+    }
+    if (ep.outq.empty()) break;
 
-  std::lock_guard<std::mutex> lock(ep.write_mu);
-  if (ep.fd < 0) return false;
-  const uint8_t* bufs[2] = {hdr, payload.data()};
-  size_t sizes[2] = {sizeof(hdr), payload.size()};
-  for (int part = 0; part < 2; ++part) {
-    const uint8_t* p = bufs[part];
-    size_t remaining = sizes[part];
-    while (remaining > 0) {
-      ssize_t n = ::send(ep.fd, p, remaining, MSG_NOSIGNAL);
-      if (n > 0) {
-        p += n;
-        remaining -= static_cast<size_t>(n);
-        continue;
+    // Gather up to max_batch_frames frames into one scatter-gather
+    // send. The front frame may be partially written from an earlier
+    // flush; it resumes at out_off, so a frame is never abandoned
+    // mid-wire. The iovecs reference queued frames directly: deque
+    // push_back never invalidates references, and only the flusher
+    // pops, so the spans stay valid across the unlocked syscall.
+    std::array<iovec, kMaxIovecs> iov;
+    const size_t budget = std::min<size_t>(
+        {ep.outq.size(), options_.max_batch_frames, kMaxIovecs});
+    const size_t cap = write_cap_for_test_.load(std::memory_order_relaxed);
+    size_t niov = 0;
+    size_t total = 0;
+    for (size_t i = 0; i < budget; ++i) {
+      const OutFrame& f = ep.outq[i];
+      const size_t skip = (i == 0) ? ep.out_off : 0;
+      size_t len = f.bytes.size() - skip;
+      if (cap > 0 && total + len > cap) {
+        len = cap - total;
+        if (len == 0) break;
       }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        // Loopback buffers rarely fill; when they do, block until the
-        // peer drains (the I/O thread is always reading).
-        pollfd pfd{ep.fd, POLLOUT, 0};
-        ::poll(&pfd, 1, kMaxPollMs);
-        continue;
+      iov[niov].iov_base = const_cast<uint8_t*>(f.bytes.data() + skip);
+      iov[niov].iov_len = len;
+      ++niov;
+      total += len;
+      if (cap > 0 && total >= cap) break;
+    }
+    const int fd = ep.fd;
+
+    // No lock held over the syscall: concurrent senders keep appending
+    // while the kernel copies this batch.
+    lock.unlock();
+    msghdr mh{};
+    mh.msg_iov = iov.data();
+    mh.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    const int err = errno;
+    lock.lock();
+
+    if (n < 0) {
+      if (err == EINTR) continue;
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        result = FlushResult::kBlocked;
+        break;
       }
-      if (n < 0 && errno == EINTR) continue;
-      return false;  // Peer gone (EPIPE/ECONNRESET) or shutdown.
+      TeardownLocked(ep);  // Queue cleanup happens below (we flush).
+      result = FlushResult::kError;
+      break;
+    }
+    writev_calls_.fetch_add(1, std::memory_order_relaxed);
+    size_t left = static_cast<size_t>(n);
+    while (left > 0) {
+      OutFrame& f = ep.outq.front();
+      const size_t remain = f.bytes.size() - ep.out_off;
+      if (left >= remain) {
+        left -= remain;
+        ep.outq_bytes -= f.bytes.size();
+        ep.out_off = 0;
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        pool_.Release(std::move(f.bytes));
+        ep.outq.pop_front();
+      } else {
+        ep.out_off += left;
+        left = 0;
+      }
+    }
+    // Under a test write cap, yield to the I/O thread after each capped
+    // write so fault tests can interleave teardowns mid-frame.
+    if (cap > 0 && !ep.outq.empty()) {
+      result = FlushResult::kBlocked;
+      break;
     }
   }
-  frames_sent_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  // A teardown that raced this flush deferred queue cleanup to us.
+  if (ep.broken.load(std::memory_order_acquire) && !ep.outq.empty()) {
+    FailQueueLocked(ep);
+  }
+  ep.flushing = false;
+  return result;
+}
+
+void SocketTransport::FailQueueLocked(Endpoint& ep) {
+  frames_dropped_.fetch_add(ep.outq.size(), std::memory_order_relaxed);
+  for (auto& f : ep.outq) {
+    pool_.Release(std::move(f.bytes));
+    if (f.on_failed) PostClosure(f.src, std::move(f.on_failed));
+  }
+  ep.outq.clear();
+  ep.outq_bytes = 0;
+  ep.out_off = 0;
+}
+
+void SocketTransport::TeardownLocked(Endpoint& ep) {
+  if (ep.broken.exchange(true, std::memory_order_acq_rel)) return;
+  // Shut down rather than close: the fd number stays valid (no reuse
+  // races with the polling I/O thread); both directions of the shared
+  // TCP connection die, so the peer side observes EOF and tears down
+  // its endpoint symmetrically. The actual close happens in Stop().
+  if (ep.fd >= 0) ::shutdown(ep.fd, SHUT_RDWR);
+  // If a flusher is mid-syscall its iovecs still reference the queue;
+  // it fails the queue itself as soon as it re-acquires the lock.
+  if (!ep.flushing) FailQueueLocked(ep);
+  ep.want_pollout.store(false, std::memory_order_release);
+  WakeIo();  // Drop the fd from the I/O thread's poll set.
+}
+
+void SocketTransport::Teardown(Endpoint& ep) {
+  std::lock_guard<std::mutex> lock(ep.out_mu);
+  TeardownLocked(ep);
 }
 
 void SocketTransport::Send(net::Message msg, std::function<void()> on_failed) {
@@ -383,41 +565,103 @@ void SocketTransport::Send(net::Message msg, std::function<void()> on_failed) {
     return;
   }
 
-  std::vector<uint8_t> payload = options_.codec.encode(msg);
-  if (payload.empty()) {
+  // Encode into a pooled buffer with the frame header reserved up
+  // front: header and payload are one contiguous buffer, written by one
+  // writev — a frame can never be torn by a failure between two writes.
+  std::vector<uint8_t> frame = pool_.Acquire();
+  frame.resize(kFrameHeaderBytes);
+  if (!options_.codec.encode(msg, &frame)) {
     assert(false && "wire codec cannot encode message type");
+    pool_.Release(std::move(frame));
     if (on_failed) PostClosure(src, std::move(on_failed));
     return;
   }
+  PatchFrameHeader(frame);
+
   Endpoint* ep = ep_[src][dst].get();
-  if (ep == nullptr || !WriteFrame(*ep, payload)) {
-    if (on_failed) PostClosure(src, std::move(on_failed));
+  bool failed = false;
+  bool overflow = false;
+  bool need_wake = false;
+  if (ep == nullptr) {
+    failed = true;
+  } else {
+    std::unique_lock<std::mutex> lock(ep->out_mu);
+    if (ep->broken.load(std::memory_order_acquire) || ep->fd < 0) {
+      failed = true;
+    } else if (ep->outq.size() >= options_.max_queue_frames ||
+               ep->outq_bytes + frame.size() > options_.max_queue_bytes) {
+      // Slow-peer backpressure: fail the send instead of blocking a
+      // worker thread until the peer drains.
+      overflow = failed = true;
+    } else {
+      ep->outq_bytes += frame.size();
+      ep->outq.push_back(OutFrame{std::move(frame), src, std::move(on_failed)});
+      switch (FlushWith(*ep, lock)) {
+        case FlushResult::kDrained:
+          break;
+        case FlushResult::kBlocked:
+          // Hand the remainder to the I/O thread via POLLOUT re-arming.
+          if (!ep->want_pollout.exchange(true, std::memory_order_acq_rel)) {
+            need_wake = true;
+          }
+          break;
+        case FlushResult::kError:
+          break;  // Torn down inside the flush; on_failed already posted.
+      }
+    }
   }
+  if (failed) {
+    if (overflow) {
+      send_queue_overflows_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pool_.Release(std::move(frame));
+    if (on_failed) PostClosure(src, std::move(on_failed));
+    return;
+  }
+  if (need_wake) WakeIo();
 }
 
 void SocketTransport::ConsumeFrames(Endpoint& ep) {
   size_t off = 0;
-  while (ep.rbuf.size() - off >= 4) {
+  std::vector<net::Message> batch;
+  bool corrupt = false;
+  while (ep.rbuf.size() - off >= kFrameHeaderBytes) {
     const uint8_t* p = ep.rbuf.data() + off;
     const uint32_t len = static_cast<uint32_t>(p[0]) |
                          (static_cast<uint32_t>(p[1]) << 8) |
                          (static_cast<uint32_t>(p[2]) << 16) |
                          (static_cast<uint32_t>(p[3]) << 24);
     if (len > kMaxFrameBytes) {
-      // Stream corruption; drop the connection's buffered bytes. The
-      // peers' RPC timeouts surface the loss.
-      ep.rbuf.clear();
-      return;
+      // An oversized length prefix means the stream is desynchronized;
+      // no later byte can be trusted as a frame boundary.
+      corrupt = true;
+      break;
     }
-    if (ep.rbuf.size() - off - 4 < len) break;
+    if (ep.rbuf.size() - off - kFrameHeaderBytes < len) break;
     net::Message msg;
-    if (options_.codec.decode(p + 4, len, &msg)) {
-      frames_received_.fetch_add(1, std::memory_order_relaxed);
-      if (msg.dst < loops_.size()) DeliverLocal(std::move(msg));
+    if (!options_.codec.decode(p + kFrameHeaderBytes, len, &msg)) {
+      // A well-framed but undecodable payload is equally fatal: correct
+      // peers never produce one, so this length prefix was garbage that
+      // happened to look plausible.
+      corrupt = true;
+      break;
     }
-    off += 4 + len;
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    if (msg.dst < loops_.size()) batch.push_back(std::move(msg));
+    off += kFrameHeaderBytes + len;
   }
-  if (off > 0) ep.rbuf.erase(ep.rbuf.begin(), ep.rbuf.begin() + static_cast<long>(off));
+  if (corrupt) {
+    // Tear the connection down instead of clearing the buffer and
+    // misreading subsequent bytes as fresh headers. Frames decoded
+    // before the corruption point are still good and get delivered.
+    decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    ep.rbuf.clear();
+    Teardown(ep);
+  } else if (off > 0) {
+    ep.rbuf.erase(ep.rbuf.begin(),
+                  ep.rbuf.begin() + static_cast<long>(off));
+  }
+  if (!batch.empty()) DeliverBatch(std::move(batch));
 }
 
 void SocketTransport::IoThread() {
@@ -458,10 +702,18 @@ void SocketTransport::IoThread() {
     eps.push_back(nullptr);
     for (auto& row : ep_) {
       for (auto& ep : row) {
-        if (ep && ep->fd >= 0) {
-          fds.push_back(pollfd{ep->fd, POLLIN, 0});
-          eps.push_back(ep.get());
+        if (!ep || ep->fd < 0) continue;
+        if (ep->broken.load(std::memory_order_acquire)) continue;
+        short events = 0;
+        if (!ep->read_paused.load(std::memory_order_acquire)) {
+          events = POLLIN;
         }
+        if (ep->want_pollout.load(std::memory_order_acquire)) {
+          events = static_cast<short>(events | POLLOUT);
+        }
+        if (events == 0) continue;
+        fds.push_back(pollfd{ep->fd, events, 0});
+        eps.push_back(ep.get());
       }
     }
 
@@ -477,8 +729,26 @@ void SocketTransport::IoThread() {
       }
     }
     for (size_t i = 1; i < fds.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       Endpoint& ep = *eps[i];
+      if (fds[i].revents & POLLOUT) {
+        // Drain the blocked outbound queue from the I/O thread — the
+        // slow-peer wait lives here, never on a worker thread.
+        std::unique_lock<std::mutex> lock(ep.out_mu);
+        if (!ep.broken.load(std::memory_order_acquire)) {
+          switch (FlushWith(ep, lock)) {
+            case FlushResult::kDrained:
+              ep.want_pollout.store(false, std::memory_order_release);
+              break;
+            case FlushResult::kBlocked:
+              break;  // Stay armed.
+            case FlushResult::kError:
+              break;  // Torn down inside the flush.
+          }
+        }
+      }
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      if (ep.read_paused.load(std::memory_order_acquire)) continue;
+      bool eof = false;
       uint8_t buf[64 * 1024];
       for (;;) {
         ssize_t n = ::recv(ep.fd, buf, sizeof(buf), 0);
@@ -488,9 +758,17 @@ void SocketTransport::IoThread() {
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         if (n < 0 && errno == EINTR) continue;
-        break;  // Peer closed; poll stops reporting once drained.
+        eof = true;  // Peer closed or connection error.
+        break;
       }
       ConsumeFrames(ep);
+      if (eof && !ep.broken.load(std::memory_order_acquire)) {
+        // The connection died under us (peer teardown or a mid-frame
+        // kill). Fail our queued sends; a half-received frame in rbuf
+        // is discarded with the connection, never misread.
+        ep.rbuf.clear();
+        Teardown(ep);
+      }
     }
   }
 }
@@ -544,6 +822,64 @@ void SocketTransport::WorkerThread() {
       ready_cv_.notify_one();
     }
   }
+}
+
+// --- fault-injection hooks (tests only) -----------------------------------
+
+Status SocketTransport::InjectRawBytesForTest(
+    NodeId src, NodeId dst, const std::vector<uint8_t>& raw) {
+  if (src >= ep_.size() || dst >= ep_.size() || ep_[src][dst] == nullptr) {
+    return Status::InvalidArgument("no such endpoint");
+  }
+  Endpoint& ep = *ep_[src][dst];
+  std::unique_lock<std::mutex> lock(ep.out_mu);
+  // Let any in-flight flush finish so the raw bytes land on a frame
+  // boundary relative to already-written traffic.
+  while (ep.flushing) {
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+  }
+  if (ep.broken.load(std::memory_order_acquire) || ep.fd < 0) {
+    return Status::Unavailable("endpoint is broken");
+  }
+  const uint8_t* p = raw.data();
+  size_t remaining = raw.size();
+  while (remaining > 0) {
+    ssize_t n = ::send(ep.fd, p, remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      remaining -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{ep.fd, POLLOUT, 0};
+      ::poll(&pfd, 1, kMaxPollMs);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+void SocketTransport::PauseReadsForTest(NodeId src, NodeId dst, bool paused) {
+  // Inbound src -> dst bytes are read on dst's side of the connection.
+  if (dst >= ep_.size() || src >= ep_.size() || ep_[dst][src] == nullptr) {
+    return;
+  }
+  ep_[dst][src]->read_paused.store(paused, std::memory_order_release);
+  WakeIo();  // Rebuild the poll set either way.
+}
+
+void SocketTransport::SetWriteCapForTest(size_t bytes) {
+  write_cap_for_test_.store(bytes, std::memory_order_relaxed);
+}
+
+void SocketTransport::BreakConnectionForTest(NodeId a, NodeId b) {
+  if (a >= ep_.size() || b >= ep_.size()) return;
+  if (ep_[a][b] != nullptr) Teardown(*ep_[a][b]);
+  if (ep_[b][a] != nullptr) Teardown(*ep_[b][a]);
 }
 
 }  // namespace dcp::rt

@@ -15,6 +15,7 @@
 
 #include "net/message.h"
 #include "runtime/transport.h"
+#include "util/buffer_pool.h"
 #include "util/node_set.h"
 #include "util/status.h"
 
@@ -23,11 +24,13 @@ namespace dcp::rt {
 /// Serializes protocol messages for the wire. The runtime layer knows
 /// nothing about payload types — the protocol layer supplies the codec
 /// (see protocol::MakeWireCodec), keeping the dependency arrow pointing
-/// the right way. `encode` returns the frame payload (length prefix is
-/// the transport's job); an empty result marks the message unencodable
-/// and the send fails. `decode` returns false on a malformed frame.
+/// the right way. `encode` appends the frame payload to `*out`
+/// (preserving the caller's prefix — the transport reserves its length
+/// header there, so header and payload share one pooled buffer) and
+/// returns false for an unencodable message, restoring `*out`.
+/// `decode` returns false on a malformed frame.
 struct WireCodec {
-  std::function<std::vector<uint8_t>(const net::Message&)> encode;
+  std::function<bool(const net::Message&, std::vector<uint8_t>* out)> encode;
   std::function<bool(const uint8_t* data, size_t len, net::Message* out)>
       decode;
 };
@@ -39,6 +42,20 @@ struct SocketTransportOptions {
   /// interleavings happen even on tiny machines).
   uint32_t num_workers = 0;
   WireCodec codec;
+  /// Frames coalesced into one writev per flush. 1 = one frame per
+  /// syscall (header and payload still travel together — a frame is a
+  /// single contiguous buffer, so it can never be torn by a failure
+  /// between two writes).
+  uint32_t max_batch_frames = 64;
+  /// Bounded per-endpoint outbound queue. A send that would exceed
+  /// either bound fails immediately via on_failed and counts as a
+  /// send_queue_overflow — slow-peer backpressure surfaces to the
+  /// sender instead of wedging a worker thread.
+  size_t max_queue_frames = 4096;
+  size_t max_queue_bytes = 8u << 20;
+  /// Recycle frame-encode buffers through a free-list pool (see
+  /// util::BufferPool); off = a fresh allocation per send.
+  bool pool_buffers = true;
 };
 
 /// The real-threads backend of the transport/runtime seam: a full TCP
@@ -50,18 +67,31 @@ struct SocketTransportOptions {
 ///    plus a self-pipe, framing, decode, and routing into the
 ///    destination node's mailbox. Its poll timeout doubles as the timer
 ///    wheel — due timers are moved into their node's mailbox as posted
-///    closures.
+///    closures. It also owns blocked write sides: an endpoint whose
+///    queue could not drain re-arms POLLOUT and the I/O thread finishes
+///    the flush when the peer catches up.
 ///  - Workers pop ready nodes from a shared queue. A node is drained by
 ///    at most one worker at a time (a `queued` flag arbitrates), so
 ///    protocol code stays effectively single-threaded per node — the
 ///    same actor model the simulator provides, minus determinism.
-///  - Sends happen synchronously on whatever thread called Send (worker
-///    or harness), under a per-connection write mutex.
+///  - Sends encode into a pooled buffer, append to the destination
+///    endpoint's bounded outbound queue, and opportunistically flush
+///    inline with scatter-gather writev (multiple frames per syscall).
+///    A send never blocks: if the socket would block, the queued bytes
+///    wait for the I/O thread's POLLOUT; if the queue is full, the send
+///    fails fast via on_failed.
 ///
 /// Each node gets a private Runtime (monotonic wall clock, thread-safe
 /// timers, its own Observability — counters are not atomic, and mailbox
 /// hand-offs give the per-node happens-before edges). All interaction
 /// with a node from outside must be posted onto its runtime.
+///
+/// Connection teardown: stream corruption (oversized length prefix,
+/// undecodable frame), a write error, or peer EOF marks the connection
+/// broken — the socket is shut down, queued sends fail via on_failed,
+/// and later sends to that peer fail fast. A desynchronized TCP stream
+/// is never resynchronized by guesswork; the RPC layer's timeouts treat
+/// the torn link like a partition.
 ///
 /// Fail-stop administration: SetNodeUp(node, false) makes the node drop
 /// inbound traffic (via the sink's IsUp guard, exactly like the sim
@@ -92,6 +122,7 @@ class SocketTransport final : public Transport {
             std::function<void()> on_failed = nullptr) override;
   Runtime* runtime(NodeId node) override;
   void set_send_tap(SendTap tap) override;
+  TransportCounters counters() const override;
 
   /// Frames actually written to / read from sockets (self-sends bypass
   /// the wire and are not counted).
@@ -102,27 +133,93 @@ class SocketTransport final : public Transport {
     return frames_received_.load(std::memory_order_relaxed);
   }
 
+  const util::BufferPool& buffer_pool() const { return pool_; }
+
+  // --- fault-injection hooks (tests only) -------------------------------
+
+  /// Writes raw bytes onto the src -> dst socket, bypassing framing —
+  /// the regression hook for stream-corruption handling.
+  [[nodiscard]] Status InjectRawBytesForTest(NodeId src, NodeId dst,
+                                             const std::vector<uint8_t>& raw);
+  /// Makes the I/O thread stop (or resume) reading what `src` sends to
+  /// `dst`, simulating a slow reader: the sender's kernel buffer fills,
+  /// then its outbound queue, then sends start failing fast.
+  void PauseReadsForTest(NodeId src, NodeId dst, bool paused);
+  /// Caps the bytes any single flush may write, forcing frames to
+  /// straddle multiple writev calls (partial-write resumption paths).
+  void SetWriteCapForTest(size_t bytes);
+  /// Tears down the a <-> b connection as if it died mid-stream.
+  void BreakConnectionForTest(NodeId a, NodeId b);
+
  private:
   class NodeLoop;
 
+  /// One queued outbound frame: `bytes` is the complete wire frame
+  /// (4-byte LE length prefix + payload) in a pooled buffer.
+  struct OutFrame {
+    std::vector<uint8_t> bytes;
+    NodeId src = kInvalidNode;
+    std::function<void()> on_failed;
+  };
+
   struct Endpoint {
     int fd = -1;
-    std::mutex write_mu;         ///< Serializes whole frames.
-    std::vector<uint8_t> rbuf;   ///< I/O-thread-only read buffer.
+    NodeId owner = kInvalidNode;  ///< Local node that writes through here.
+    NodeId peer = kInvalidNode;   ///< Remote node (inbound frames' sender).
+    std::vector<uint8_t> rbuf;    ///< I/O-thread-only read buffer.
+
+    /// Torn down (corrupt stream / write error / EOF). Sends fail fast;
+    /// the I/O thread drops the fd from its poll set.
+    std::atomic<bool> broken{false};
+    /// The I/O thread should poll POLLOUT and drain `outq`.
+    std::atomic<bool> want_pollout{false};
+    std::atomic<bool> read_paused{false};  ///< Test hook.
+
+    std::mutex out_mu;  ///< Guards everything below.
+    std::deque<OutFrame> outq;
+    size_t out_off = 0;  ///< Bytes of the front frame already written.
+    size_t outq_bytes = 0;
+    /// True while one thread runs the flush loop. The flusher drops
+    /// `out_mu` across each writev (no lock held over a syscall), so
+    /// concurrent senders keep appending — that is where batching comes
+    /// from. Only the flusher pops frames; teardown while a flush is in
+    /// flight defers queue cleanup to the flusher.
+    bool flushing = false;
+  };
+
+  enum class FlushResult {
+    kDrained,     ///< Queue empty (or another thread is flushing it).
+    kBlocked,     ///< Socket full; remainder waits for POLLOUT.
+    kError,       ///< Write error; the connection was torn down.
   };
 
   Time NowMs() const;
   NodeLoop* loop(NodeId node) const;
   /// Enqueues a decoded message into `dst`'s mailbox (any thread).
   void DeliverLocal(net::Message msg);
+  /// Batch DeliverLocal: one mailbox lock + wakeup per destination run.
+  void DeliverBatch(std::vector<net::Message> batch);
   /// Enqueues a closure onto `node`'s mailbox (any thread).
   void PostClosure(NodeId node, std::function<void()> fn);
   void EnqueueReady(NodeLoop* l);
   void WakeIo();
-  bool WriteFrame(Endpoint& ep, const std::vector<uint8_t>& payload);
+  /// Drains `ep.outq` with scatter-gather writev until empty or
+  /// EWOULDBLOCK, releasing `lock` (which must hold `ep.out_mu`) across
+  /// each syscall. At most one flusher runs per endpoint; a caller that
+  /// finds a flush in progress returns immediately (the active flusher
+  /// picks its frames up). Handles write errors internally (teardown).
+  FlushResult FlushWith(Endpoint& ep, std::unique_lock<std::mutex>& lock);
+  /// Fails every queued send and empties the queue. Requires `ep.out_mu`.
+  void FailQueueLocked(Endpoint& ep);
+  /// Marks the connection broken, shuts the socket down, and fails every
+  /// queued send (deferred to the active flusher if one is mid-writev).
+  /// Requires `ep.out_mu`. Idempotent.
+  void TeardownLocked(Endpoint& ep);
+  void Teardown(Endpoint& ep);
   void IoThread();
   void WorkerThread();
   /// Drains `ep.rbuf` into complete frames; decodes and routes them.
+  /// Corruption tears the connection down.
   void ConsumeFrames(Endpoint& ep);
 
   SocketTransportOptions options_;
@@ -135,6 +232,8 @@ class SocketTransport final : public Transport {
   std::vector<std::vector<std::unique_ptr<Endpoint>>> ep_;
   std::vector<int> listen_fds_;
   int wake_pipe_[2] = {-1, -1};
+
+  util::BufferPool pool_;
 
   SendTap send_tap_;  ///< Install before Start; may run on any thread.
 
@@ -153,6 +252,11 @@ class SocketTransport final : public Transport {
 
   std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_dropped_{0};
+  std::atomic<uint64_t> decode_failures_{0};
+  std::atomic<uint64_t> send_queue_overflows_{0};
+  std::atomic<uint64_t> writev_calls_{0};
+  std::atomic<size_t> write_cap_for_test_{0};  ///< 0 = uncapped.
 
   std::chrono::steady_clock::time_point epoch_;  // dcp-lint: allow(wall-clock) — this backend's monotonic clock IS wall time
 };

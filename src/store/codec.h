@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,13 @@ inline uint32_t Crc32(const std::vector<uint8_t>& data, uint32_t seed = 0) {
 /// never trusts a length it has not verified.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopts `buf` and appends after its existing contents — callers can
+  /// reserve framing headers up front or recycle pooled buffers (see
+  /// util::BufferPool) so steady-state encodes reuse warm capacity
+  /// instead of allocating. `Take()` hands the buffer back.
+  explicit ByteWriter(std::vector<uint8_t> buf) : buf_(std::move(buf)) {}
+
   void U8(uint8_t v) { buf_.push_back(v); }
   void Bool(bool v) { U8(v ? 1 : 0); }
   void U32(uint32_t v) {
@@ -84,6 +92,17 @@ class ByteReader {
     std::vector<uint8_t> out(p_, p_ + n);
     p_ += n;
     return out;
+  }
+  /// Zero-copy Bytes(): the returned view aliases the reader's buffer
+  /// (valid only while that buffer lives). The wire decoder uses this
+  /// for the per-message envelope strings so a received frame costs no
+  /// temporary vector per field. Empty on bounds failure.
+  std::string_view BytesView() {
+    uint32_t n = U32();
+    if (!Need(n)) return {};
+    const char* start = reinterpret_cast<const char*>(p_);
+    p_ += n;
+    return std::string_view(start, n);
   }
 
  private:

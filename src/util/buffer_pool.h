@@ -1,0 +1,88 @@
+#ifndef DCP_UTIL_BUFFER_POOL_H_
+#define DCP_UTIL_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dcp::util {
+
+/// A thread-safe free list of byte buffers for hot paths that would
+/// otherwise allocate a fresh `std::vector<uint8_t>` per message (the
+/// socket transport's frame-encode churn). Acquire hands back an empty
+/// vector whose *capacity* is warm from its previous life; Release
+/// clears the buffer and returns it to the free list. Steady-state
+/// acquire/release cycles therefore touch the allocator zero times.
+///
+/// Two bounds keep a pool from becoming a leak with extra steps:
+///  - at most `max_pooled` buffers are retained (excess are freed);
+///  - buffers whose capacity grew past `max_buffer_bytes` are freed on
+///    release, so one pathological 64 MiB snapshot frame cannot pin
+///    64 MiB for the rest of the process.
+///
+/// A disabled pool (`BufferPoolOptions::enabled = false`) degrades to
+/// plain allocation — the knob the transport bench uses to price the
+/// pool on and off without two code paths at the call sites.
+struct BufferPoolOptions {
+  bool enabled = true;
+  size_t max_pooled = 256;
+  size_t max_buffer_bytes = 1u << 20;
+};
+
+class BufferPool {
+ public:
+  BufferPool() : BufferPool(BufferPoolOptions{}) {}
+  explicit BufferPool(BufferPoolOptions options) : options_(options) {
+    if (options_.enabled) free_.reserve(options_.max_pooled);
+  }
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer, reusing a pooled one when available.
+  std::vector<uint8_t> Acquire() {
+    if (options_.enabled) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::vector<uint8_t> buf = std::move(free_.back());
+        free_.pop_back();
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return buf;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+
+  /// Returns `buf` to the free list (cleared, capacity kept), or frees
+  /// it if the pool is full, disabled, or the buffer outgrew the cap.
+  void Release(std::vector<uint8_t> buf) {
+    if (!options_.enabled || buf.capacity() == 0 ||
+        buf.capacity() > options_.max_buffer_bytes) {
+      return;  // `buf` destructs here.
+    }
+    buf.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < options_.max_pooled) free_.push_back(std::move(buf));
+  }
+
+  /// Acquires that found a pooled buffer / that had to allocate fresh.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  const BufferPoolOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<uint8_t>> free_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace dcp::util
+
+#endif  // DCP_UTIL_BUFFER_POOL_H_

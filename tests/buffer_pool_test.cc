@@ -1,0 +1,78 @@
+#include "util/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace dcp::util {
+namespace {
+
+TEST(BufferPoolTest, ReusesReleasedBuffers) {
+  BufferPool pool;
+  std::vector<uint8_t> buf = pool.Acquire();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(pool.misses(), 1u);
+
+  buf.assign(1000, 0xab);
+  const size_t capacity = buf.capacity();
+  pool.Release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  std::vector<uint8_t> again = pool.Acquire();
+  EXPECT_TRUE(again.empty()) << "pooled buffers come back cleared";
+  EXPECT_GE(again.capacity(), capacity) << "capacity survives the round trip";
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPoolTest, DisabledPoolAlwaysAllocates) {
+  BufferPoolOptions o;
+  o.enabled = false;
+  BufferPool pool(o);
+  std::vector<uint8_t> buf = pool.Acquire();
+  buf.assign(64, 1);
+  pool.Release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), 0u);
+  (void)pool.Acquire();
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST(BufferPoolTest, OversizedBuffersAreNotRetained) {
+  BufferPoolOptions o;
+  o.max_buffer_bytes = 128;
+  BufferPool pool(o);
+  std::vector<uint8_t> big;
+  big.assign(4096, 7);  // Capacity well past the cap.
+  pool.Release(std::move(big));
+  EXPECT_EQ(pool.pooled(), 0u) << "a pathological frame must not pin memory";
+
+  std::vector<uint8_t> small;
+  small.reserve(64);
+  small.push_back(1);
+  pool.Release(std::move(small));
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST(BufferPoolTest, RetentionIsBoundedByMaxPooled) {
+  BufferPoolOptions o;
+  o.max_pooled = 2;
+  BufferPool pool(o);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<uint8_t> buf;
+    buf.reserve(16);
+    buf.push_back(static_cast<uint8_t>(i));
+    pool.Release(std::move(buf));
+  }
+  EXPECT_EQ(pool.pooled(), 2u);
+}
+
+TEST(BufferPoolTest, EmptyBuffersAreDropped) {
+  BufferPool pool;
+  pool.Release({});  // Nothing to warm-start from; keeping it is pointless.
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+}  // namespace
+}  // namespace dcp::util

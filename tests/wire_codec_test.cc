@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "protocol/messages.h"
@@ -275,11 +276,41 @@ TEST(WireCodecTest, MakeWireCodecIsWiredUp) {
   rt::WireCodec codec = MakeWireCodec();
   ASSERT_TRUE(codec.encode && codec.decode);
   net::Message msg = Request(msg::kFetch, std::make_shared<FetchRequest>());
-  std::vector<uint8_t> wire = codec.encode(msg);
+  std::vector<uint8_t> wire;
+  ASSERT_TRUE(codec.encode(msg, &wire));
   ASSERT_FALSE(wire.empty());
   net::Message out;
   EXPECT_TRUE(codec.decode(wire.data(), wire.size(), &out));
   EXPECT_EQ(out.type, msg.type);
+}
+
+TEST(WireCodecTest, EncodeIntoPreservesCallerPrefix) {
+  // The socket transport reserves its 4-byte frame header in the buffer
+  // before encoding; the encoder must append after it, and a failed
+  // encode must restore the buffer to exactly the prefix.
+  net::Message msg = Request(msg::kFetch, std::make_shared<FetchRequest>());
+  std::vector<uint8_t> with_prefix = {0xde, 0xad, 0xbe, 0xef};
+  ASSERT_TRUE(EncodeMessageInto(msg, &with_prefix));
+  ASSERT_GT(with_prefix.size(), 4u);
+  EXPECT_EQ(with_prefix[0], 0xde);
+  EXPECT_EQ(with_prefix[3], 0xef);
+
+  // Appended bytes equal a from-scratch encode.
+  std::vector<uint8_t> plain = EncodeMessage(msg);
+  ASSERT_EQ(with_prefix.size() - 4, plain.size());
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), with_prefix.begin() + 4));
+
+  // Unencodable payload type: prefix survives untouched.
+  struct AlienPayload : net::Payload {};
+  net::Message bogus;
+  bogus.src = 0;
+  bogus.dst = 1;
+  bogus.kind = net::Message::Kind::kRequest;
+  bogus.type = net::TypeName("not-a-wire-type");
+  bogus.payload = std::make_shared<AlienPayload>();
+  std::vector<uint8_t> prefix_only = {0x01, 0x02};
+  EXPECT_FALSE(EncodeMessageInto(bogus, &prefix_only));
+  EXPECT_EQ(prefix_only, (std::vector<uint8_t>{0x01, 0x02}));
 }
 
 }  // namespace
