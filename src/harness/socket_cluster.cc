@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <future>
+#include <map>
 #include <thread>
 #include <utility>
 
@@ -44,10 +45,40 @@ SocketCluster::SocketCluster(SocketClusterOptions options)
       transport_(TransportOptions(options_)) {
   std::vector<uint8_t> value = options_.initial_value;
   if (value.empty()) value = {0};
-  std::vector<std::vector<uint8_t>> values(
-      std::max<uint32_t>(options_.num_objects, 1), value);
   const NodeSet all = NodeSet::Universe(options_.num_nodes);
   nodes_.reserve(options_.num_nodes);
+
+  if (options_.sharded) {
+    shard::PlacementOptions p;
+    p.num_nodes = options_.num_nodes;
+    p.num_objects = std::max<uint32_t>(options_.num_objects, 1);
+    p.replication_factor = options_.replication_factor;
+    p.seed = options_.placement_seed;
+    table_ = std::make_unique<shard::ObjectTable>(p);
+    std::map<storage::ObjectId, NodeSet> directory;
+    for (storage::ObjectId o = 0; o < p.num_objects; ++o) {
+      directory[o] = table_->placement(o).replicas;
+    }
+    for (uint32_t i = 0; i < options_.num_nodes; ++i) {
+      std::vector<protocol::HostedObjectSpec> catalog;
+      for (storage::ObjectId o = 0; o < p.num_objects; ++o) {
+        if (!table_->placement(o).replicas.Contains(i)) continue;
+        protocol::HostedObjectSpec spec;
+        spec.id = o;
+        spec.home = table_->placement(o).replicas;
+        spec.rule = rule_.get();
+        spec.initial_value = value;
+        catalog.push_back(std::move(spec));
+      }
+      nodes_.push_back(std::make_unique<protocol::ReplicaNode>(
+          &transport_, NodeId{i}, all, rule_.get(), std::move(catalog),
+          directory, options_.node_options));
+    }
+    return;
+  }
+
+  std::vector<std::vector<uint8_t>> values(
+      std::max<uint32_t>(options_.num_objects, 1), value);
   for (uint32_t i = 0; i < options_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<protocol::ReplicaNode>(
         &transport_, NodeId{i}, all, rule_.get(), values,
@@ -113,6 +144,21 @@ Status SocketCluster::CheckEpochSync(NodeId initiator) {
   transport_.runtime(initiator)->Schedule(0, [node, promise] {
     protocol::StartEpochCheck(
         node, [promise](Status s) { promise->set_value(std::move(s)); });
+  });
+  return AwaitOr<Status>(
+      std::move(future), options_.op_timeout_ms,
+      Status::TimedOut("socket epoch check exceeded the harness budget"));
+}
+
+Status SocketCluster::CheckObjectEpochSync(NodeId initiator,
+                                           storage::ObjectId object) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  auto future = promise->get_future();
+  protocol::ReplicaNode* node = nodes_[initiator].get();
+  transport_.runtime(initiator)->Schedule(0, [node, object, promise] {
+    protocol::StartObjectEpochCheck(
+        node, object,
+        [promise](Status s) { promise->set_value(std::move(s)); });
   });
   return AwaitOr<Status>(
       std::move(future), options_.op_timeout_ms,

@@ -10,6 +10,7 @@
 #include "protocol/operations.h"
 #include "protocol/replica_node.h"
 #include "runtime/socket_transport.h"
+#include "shard/placement.h"
 #include "util/result.h"
 
 namespace dcp::harness {
@@ -18,6 +19,13 @@ struct SocketClusterOptions {
   uint32_t num_nodes = 5;
   /// Data items in the replica group (all share one epoch).
   uint32_t num_objects = 1;
+  /// Sharded deployment: place each object onto a `replication_factor`
+  /// subset of the pool (shard::ObjectTable, seeded by `placement_seed`)
+  /// and give it its own epoch lineage. Write/Read route the same; epoch
+  /// checks must be per-object (CheckObjectEpochSync).
+  bool sharded = false;
+  uint32_t replication_factor = 3;
+  uint64_t placement_seed = 7;
   protocol::CoterieKind coterie = protocol::CoterieKind::kMajority;
   std::vector<uint8_t> initial_value;  ///< Shared by all objects.
   protocol::ReplicaNodeOptions node_options;
@@ -79,6 +87,13 @@ class SocketCluster {
   [[nodiscard]] Result<protocol::ReadOutcome> ReadSync(
       NodeId coordinator, storage::ObjectId object = 0);
   [[nodiscard]] Status CheckEpochSync(NodeId initiator);
+  /// Scoped epoch check for sharded deployments (the group-wide
+  /// CheckEpochSync is rejected by sharded nodes).
+  [[nodiscard]] Status CheckObjectEpochSync(NodeId initiator,
+                                            storage::ObjectId object);
+
+  /// The placement table of a sharded deployment; null in group mode.
+  const shard::ObjectTable* table() const { return table_.get(); }
 
   /// WriteSync with bounded retries on lock conflicts (linear real-time
   /// backoff) — the socket-side analogue of Cluster::WriteSyncRetry.
@@ -89,6 +104,7 @@ class SocketCluster {
  private:
   SocketClusterOptions options_;
   std::unique_ptr<coterie::CoterieRule> rule_;
+  std::unique_ptr<shard::ObjectTable> table_;  ///< Sharded mode only.
   rt::SocketTransport transport_;
   std::vector<std::unique_ptr<protocol::ReplicaNode>> nodes_;
 };

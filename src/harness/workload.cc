@@ -40,6 +40,11 @@ WorkloadDriver::WorkloadDriver(protocol::Cluster* cluster, Options options)
     // Stream root: the workload arrival/choice RNG is seeded from its
     // options, independent of the cluster's.  // dcp-lint: allow(raw-rng)
     : cluster_(cluster), options_(options), rng_(options.seed) {
+  if (options_.key_distribution == Options::KeyDistribution::kZipfian) {
+    zipf_ = std::make_unique<ZipfianGenerator>(
+        std::max(1u, cluster_->options().num_objects),
+        options_.zipfian_theta);
+  }
   obs::MetricsRegistry& m = cluster_->metrics();
   write_counters_ = OpCounters{m.counter("workload.write.attempted"),
                                m.counter("workload.write.committed"),
@@ -69,6 +74,15 @@ NodeId WorkloadDriver::PickLiveCoordinator() {
   NodeSet up = cluster_->UpNodes();
   if (up.Empty()) return kInvalidNode;
   return up.NthMember(static_cast<uint32_t>(rng_.Uniform(up.Size())));
+}
+
+storage::ObjectId WorkloadDriver::PickObject() {
+  // The uniform branch is the historical draw, byte-identical per seed.
+  if (zipf_ == nullptr) {
+    return static_cast<storage::ObjectId>(
+        rng_.Uniform(std::max(1u, cluster_->options().num_objects)));
+  }
+  return static_cast<storage::ObjectId>(zipf_->Sample(rng_));
 }
 
 uint64_t WorkloadDriver::AcquireClient() {
@@ -117,8 +131,7 @@ void WorkloadDriver::ArmTimeout(std::shared_ptr<OpState> op, bool is_write,
 void WorkloadDriver::Issue() {
   NodeId coordinator = PickLiveCoordinator();
   if (coordinator == kInvalidNode) return;  // Whole cluster down.
-  storage::ObjectId object = static_cast<storage::ObjectId>(
-      rng_.Uniform(std::max(1u, cluster_->options().num_objects)));
+  storage::ObjectId object = PickObject();
   double started = cluster_->simulator().Now();
   std::shared_ptr<Shared> state = state_;
   analysis::ClientHistory* history = options_.client_history;

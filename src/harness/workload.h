@@ -8,6 +8,7 @@
 #include "analysis/client_history.h"
 #include "protocol/cluster.h"
 #include "util/random.h"
+#include "util/zipfian.h"
 
 namespace dcp::harness {
 
@@ -53,6 +54,16 @@ class WorkloadDriver {
     uint64_t seed = 2;
     uint64_t object_size = 32;  ///< Partial writes patch 1 byte in this.
     Stack stack = Stack::kDynamicCoterie;
+
+    /// How operations pick their target object. kUniform (the default)
+    /// preserves the historical single-draw RNG stream byte-for-byte;
+    /// kZipfian skews accesses toward low object ids (hot keys) with
+    /// YCSB's 1/rank^theta popularity — the interesting regime for a
+    /// sharded cluster, where hot objects concentrate load on a few home
+    /// sets.
+    enum class KeyDistribution { kUniform, kZipfian };
+    KeyDistribution key_distribution = KeyDistribution::kUniform;
+    double zipfian_theta = 0.99;  ///< Skew; used only by kZipfian.
 
     /// When non-null, every issued operation is recorded as a
     /// client-observable op (analysis/client_history.h): invocation at
@@ -122,6 +133,7 @@ class WorkloadDriver {
   void ArmNext();
   void Issue();
   NodeId PickLiveCoordinator();
+  storage::ObjectId PickObject();
 
   /// Schedules the client-side give-up event for an in-flight op (no-op
   /// when Options::op_timeout is 0).
@@ -138,6 +150,8 @@ class WorkloadDriver {
   protocol::Cluster* cluster_;
   Options options_;
   Rng rng_;
+  /// Constructed only for kZipfian (the normalizer is O(num_objects)).
+  std::unique_ptr<ZipfianGenerator> zipf_;
   std::shared_ptr<Shared> state_;
   OpStats writes_;
   OpStats reads_;

@@ -69,6 +69,18 @@ Counter* MetricsRegistry::counter(const std::string& name) {
   return slot.get();
 }
 
+Counter* MetricsRegistry::labeled_counter(const std::string& family,
+                                          const std::string& label,
+                                          size_t max_labels) {
+  std::string name = family + "." + label;
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  size_t& created = family_sizes_[family];
+  if (created >= max_labels) return counter(family + ".overflow");
+  ++created;
+  return counter(name);
+}
+
 Gauge* MetricsRegistry::gauge(const std::string& name) {
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();

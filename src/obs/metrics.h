@@ -91,6 +91,18 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name,
                        std::vector<double> bounds = {});
 
+  /// Bounded-cardinality counter family: returns the counter named
+  /// "<family>.<label>" but creates at most `max_labels` distinct labels
+  /// per family — further labels all fold into "<family>.overflow". Use
+  /// this for labels drawn from an unbounded id space (per-object ids in
+  /// a sharded cluster) where naive per-id registration would grow the
+  /// registry, the JSON snapshot and the reset cost without bound.
+  /// Existing labels keep returning their own handle regardless of cap;
+  /// `max_labels` is consulted only at first sight of a label (callers
+  /// should pass a consistent cap per family).
+  Counter* labeled_counter(const std::string& family, const std::string& label,
+                           size_t max_labels = 16);
+
   const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
     return counters_;
   }
@@ -121,6 +133,9 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Distinct labels created per labeled-counter family (overflow bucket
+  /// excluded) — the cardinality guard for labeled_counter().
+  std::map<std::string, size_t> family_sizes_;
 };
 
 }  // namespace dcp::obs

@@ -27,6 +27,15 @@ std::vector<uint8_t> EncodeStagedAction(const StagedAction& action) {
     PutUpdate(w, oa.snapshot);
     PutNodeSet(w, oa.propagate_to);
   }
+  // Backward-compatible trailer: a scoped epoch install (per-object epoch
+  // lineages, sharded deployments) appends its scope after the object list.
+  // Group-mode actions never emit it, so their encoding — and every WAL /
+  // checkpoint byte derived from it — is unchanged from the pre-sharding
+  // format.
+  if (action.epoch_scoped) {
+    w.Bool(true);
+    w.U32(action.epoch_object);
+  }
   return w.Take();
 }
 
@@ -51,6 +60,12 @@ bool DecodeStagedAction(const std::vector<uint8_t>& blob,
     oa.snapshot = GetUpdate(r);
     oa.propagate_to = GetNodeSet(r);
     action->objects.push_back(std::move(oa));
+  }
+  action->epoch_scoped = false;
+  action->epoch_object = 0;
+  if (r.ok() && r.remaining() > 0) {
+    action->epoch_scoped = r.Bool();
+    action->epoch_object = r.U32();
   }
   return r.ok() && r.remaining() == 0;
 }

@@ -132,14 +132,22 @@ struct ObjectAction {
 };
 
 /// What a participant is asked to stage. One transaction covers writes
-/// ("do-update" / "mark-stale" on one object) and epoch changes
+/// ("do-update" / "mark-stale" on one or more objects) and epoch changes
 /// ("new-epoch" for the whole group plus per-object stale marking), so
 /// the epoch-check cost is amortized over every object of the group.
 struct StagedAction {
-  /// Install a new epoch ("new-epoch") — affects all objects.
+  /// Install a new epoch ("new-epoch") — affects all objects of the
+  /// group, or exactly `epoch_object` when `epoch_scoped` is set.
   bool install_epoch = false;
   EpochNumber epoch_number = 0;
   NodeSet epoch_list;
+
+  /// Sharded deployments give every object its own epoch lineage; a
+  /// scoped install touches only `epoch_object`. The fields ride in a
+  /// backward-compatible trailer of the action encoding: a group-mode
+  /// action encodes byte-identically to the pre-sharding format.
+  bool epoch_scoped = false;
+  ObjectId epoch_object = 0;
 
   std::vector<ObjectAction> objects;
 };
@@ -180,8 +188,14 @@ struct OutcomeResponse : net::Payload {
 
 /// "epoch-checking-request": report state; no lock taken (the subsequent
 /// epoch install is what locks, via 2PC prepare). One poll covers every
-/// object of the group.
-struct EpochPollRequest : net::Payload {};
+/// object of the group — or, when `scoped` is set (sharded deployments,
+/// where each object has its own epoch lineage), exactly `object`. The
+/// scoped fields are a backward-compatible wire trailer: an unscoped
+/// request encodes byte-identically to the pre-sharding format.
+struct EpochPollRequest : net::Payload {
+  bool scoped = false;
+  ObjectId object = 0;
+};
 
 struct EpochPollResponse : net::Payload {
   NodeId node = kInvalidNode;

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "net/rpc.h"
@@ -118,8 +119,11 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
     sim->tracer().BeginSpan("op", "write", node_->self(), span_id_,
                             {{"object", std::to_string(object_)}});
     uint64_t selector = SelectorFor(owner_.coordinator, owner_.operation_id);
-    Result<NodeSet> quorum =
-        node_->rule().WriteQuorum(node_->epoch().list, selector);
+    // Group mode: epoch_hint/rule_for/universe are the shared epoch, the
+    // node rule and the whole cluster — identical to the pre-sharding
+    // behavior. Sharded: the object's own lineage, rule and home set.
+    Result<NodeSet> quorum = node_->rule_for(object_).WriteQuorum(
+        node_->epoch_hint(object_).list, selector);
     if (!quorum.ok()) {
       Complete(quorum.status());
       return;
@@ -157,7 +161,8 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
   void EvaluateFirstRound() {
     Analysis a = Analyze(held_);
     if (!held_.empty() &&
-        node_->rule().IsWriteQuorum(a.max_epoch_list, KeysOf(held_)) &&
+        node_->rule_for(object_).IsWriteQuorum(a.max_epoch_list,
+                                               KeysOf(held_)) &&
         a.HasCurrentReplica()) {
       CommitPhase(a);  // The common, failure-free case.
     } else {
@@ -165,25 +170,24 @@ class WriteOp : public std::enable_shared_from_this<WriteOp> {
     }
   }
 
-  /// HeavyProcedure: extend the lock set to every replica node (keeping
-  /// the locks already held) and re-evaluate.
+  /// HeavyProcedure: extend the lock set to every replica node of the
+  /// object (keeping the locks already held) and re-evaluate.
   void StartHeavyProcedure() {
     heavy_ = true;
     node_->runtime()->metrics().counter("op.write.heavy")->Increment();
     node_->runtime()->tracer().Instant("op", "op.write.heavy",
                                          node_->self(), {});
-    NodeSet remaining = node_->all_nodes().Difference(KeysOf(held_));
+    NodeSet remaining = node_->universe(object_).Difference(KeysOf(held_));
     auto self = shared_from_this();
     LockNodes(remaining, [self](bool) {
       Analysis a = Analyze(self->held_);
+      const coterie::CoterieRule& rule = self->node_->rule_for(self->object_);
       if (!self->held_.empty() &&
-          self->node_->rule().IsWriteQuorum(a.max_epoch_list,
-                                            KeysOf(self->held_)) &&
+          rule.IsWriteQuorum(a.max_epoch_list, KeysOf(self->held_)) &&
           a.HasCurrentReplica()) {
         self->CommitPhase(a);
       } else if (!a.HasCurrentReplica() && !self->held_.empty() &&
-                 self->node_->rule().IsWriteQuorum(a.max_epoch_list,
-                                                   KeysOf(self->held_))) {
+                 rule.IsWriteQuorum(a.max_epoch_list, KeysOf(self->held_))) {
         self->Fail(Status::StaleData("no current replica reachable"));
       } else if (self->saw_conflict_) {
         self->Fail(Status::Conflict("lock conflicts prevented a quorum"));
@@ -393,8 +397,8 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
     sim->tracer().BeginSpan("op", "read", node_->self(), span_id_,
                             {{"object", std::to_string(object_)}});
     uint64_t selector = SelectorFor(owner_.coordinator, owner_.operation_id);
-    Result<NodeSet> quorum =
-        node_->rule().ReadQuorum(node_->epoch().list, selector);
+    Result<NodeSet> quorum = node_->rule_for(object_).ReadQuorum(
+        node_->epoch_hint(object_).list, selector);
     if (!quorum.ok()) {
       Complete(quorum.status());
       return;
@@ -403,8 +407,8 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
     LockNodes(*quorum, [self] {
       Analysis a = Analyze(self->held_);
       if (!self->held_.empty() &&
-          self->node_->rule().IsReadQuorum(a.max_epoch_list,
-                                           KeysOf(self->held_)) &&
+          self->node_->rule_for(self->object_)
+              .IsReadQuorum(a.max_epoch_list, KeysOf(self->held_)) &&
           a.HasCurrentReplica()) {
         self->Fetch(a);
       } else {
@@ -440,13 +444,13 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
     node_->runtime()->metrics().counter("op.read.heavy")->Increment();
     node_->runtime()->tracer().Instant("op", "op.read.heavy",
                                          node_->self(), {});
-    NodeSet remaining = node_->all_nodes().Difference(KeysOf(held_));
+    NodeSet remaining = node_->universe(object_).Difference(KeysOf(held_));
     auto self = shared_from_this();
     LockNodes(remaining, [self] {
       Analysis a = Analyze(self->held_);
       if (!self->held_.empty() &&
-          self->node_->rule().IsReadQuorum(a.max_epoch_list,
-                                           KeysOf(self->held_)) &&
+          self->node_->rule_for(self->object_)
+              .IsReadQuorum(a.max_epoch_list, KeysOf(self->held_)) &&
           a.HasCurrentReplica()) {
         self->Fetch(a);
       } else if (self->saw_conflict_) {
@@ -538,13 +542,249 @@ class ReadOp : public std::enable_shared_from_this<ReadOp> {
 };
 
 // ---------------------------------------------------------------------------
+// Multi-object transactional write.
+// ---------------------------------------------------------------------------
+
+/// Locks a write quorum per object (spec order, one lock owner), then
+/// commits every update through a single 2PC over the union of the
+/// quorums. The per-object lock/analyze/heavy machinery mirrors WriteOp;
+/// the commit merges each object's good/stale actions into one staged
+/// action per participant node.
+class TxnWriteOp : public std::enable_shared_from_this<TxnWriteOp> {
+ public:
+  TxnWriteOp(ReplicaNode* node, std::vector<TxnWriteSpec> specs,
+             HistoryLookup histories, TxnWriteDone done)
+      : node_(node),
+        specs_(std::move(specs)),
+        histories_(std::move(histories)),
+        done_(std::move(done)) {
+    owner_.coordinator = node_->self();
+    owner_.operation_id = node_->NextOperationId();
+    started_at_ = node_->runtime()->Now();
+    span_id_ = OpSpanId(owner_);
+    per_object_.resize(specs_.size());
+  }
+
+  void Start() {
+    rt::Runtime* sim = node_->runtime();
+    sim->metrics().counter("op.txn.started")->Increment();
+    sim->tracer().BeginSpan(
+        "op", "txn", node_->self(), span_id_,
+        {{"objects", std::to_string(specs_.size())}});
+    if (specs_.empty()) {
+      Complete(Status::InvalidArgument("transactional write with no specs"));
+      return;
+    }
+    for (const TxnWriteSpec& s : specs_) {
+      if (seen_objects_.count(s.object) > 0) {
+        Complete(Status::InvalidArgument(
+            "duplicate object " + std::to_string(s.object) +
+            " in transactional write"));
+        return;
+      }
+      seen_objects_.insert(s.object);
+    }
+    LockObject(0);
+  }
+
+ private:
+  struct PerObject {
+    TupleMap held;          ///< Granted lock tuples for this object.
+    Analysis analysis;      ///< Valid once the object is fully acquired.
+    bool heavy = false;
+  };
+
+  /// Acquires object `idx`, then recurses to `idx + 1`; past the end,
+  /// every object holds a satisfying quorum and the commit runs.
+  void LockObject(size_t idx) {
+    if (idx == specs_.size()) {
+      Commit();
+      return;
+    }
+    ObjectId object = specs_[idx].object;
+    uint64_t selector = SelectorFor(owner_.coordinator, owner_.operation_id);
+    Result<NodeSet> quorum = node_->rule_for(object).WriteQuorum(
+        node_->epoch_hint(object).list, selector);
+    auto self = shared_from_this();
+    if (!quorum.ok()) {
+      // The hint was unusable (e.g. a degenerate epoch list); go straight
+      // to the heavy path over the object's whole home set.
+      StartHeavy(idx);
+      return;
+    }
+    LockNodes(idx, *quorum, [self, idx] { self->Evaluate(idx); });
+  }
+
+  void LockNodes(size_t idx, const NodeSet& targets,
+                 std::function<void()> next) {
+    auto req = std::make_shared<LockRequest>();
+    req->owner = owner_;
+    req->mode = LockMode::kExclusive;
+    req->object = specs_[idx].object;
+    req->op_started = started_at_;  // Wound-wait seniority.
+    auto self = shared_from_this();
+    net::MulticastGather(
+        &node_->rpc(), targets, msg::kLock, req,
+        [self, idx, next = std::move(next)](GatherResult g) {
+          for (auto& [node, r] : g.replies) {
+            if (r.ok()) {
+              self->per_object_[idx].held[node] =
+                  net::As<LockResponse>(r.response).state;
+            } else if (!r.call_failed()) {
+              self->saw_conflict_ = true;
+            }
+          }
+          next();
+        });
+  }
+
+  void Evaluate(size_t idx) {
+    PerObject& po = per_object_[idx];
+    Analysis a = Analyze(po.held);
+    ObjectId object = specs_[idx].object;
+    if (!po.held.empty() &&
+        node_->rule_for(object).IsWriteQuorum(a.max_epoch_list,
+                                              KeysOf(po.held)) &&
+        a.HasCurrentReplica()) {
+      po.analysis = a;
+      LockObject(idx + 1);
+    } else if (!po.heavy) {
+      StartHeavy(idx);
+    } else if (!a.HasCurrentReplica() && !po.held.empty() &&
+               node_->rule_for(object).IsWriteQuorum(a.max_epoch_list,
+                                                     KeysOf(po.held))) {
+      Fail(Status::StaleData("no current replica reachable for object " +
+                             std::to_string(object)));
+    } else if (saw_conflict_) {
+      Fail(Status::Conflict("lock conflicts prevented a quorum for object " +
+                            std::to_string(object)));
+    } else {
+      Fail(Status::Unavailable("no write quorum reachable for object " +
+                               std::to_string(object)));
+    }
+  }
+
+  void StartHeavy(size_t idx) {
+    PerObject& po = per_object_[idx];
+    po.heavy = true;
+    node_->runtime()->metrics().counter("op.txn.heavy")->Increment();
+    ObjectId object = specs_[idx].object;
+    NodeSet remaining =
+        node_->universe(object).Difference(KeysOf(po.held));
+    auto self = shared_from_this();
+    LockNodes(idx, remaining, [self, idx] { self->Evaluate(idx); });
+  }
+
+  /// All objects acquired: merge per-object actions into one staged
+  /// action per node and run a single 2PC over their union.
+  void Commit() {
+    std::map<NodeId, StagedAction> actions;
+    std::map<ObjectId, Version> new_versions;
+    for (size_t idx = 0; idx < specs_.size(); ++idx) {
+      const PerObject& po = per_object_[idx];
+      ObjectId object = specs_[idx].object;
+      Version max_version = *po.analysis.max_version;
+      Version new_version = max_version + 1;
+      new_versions[object] = new_version;
+      NodeSet good = GoodSet(po.held, max_version);
+      NodeSet stale = KeysOf(po.held).Difference(good);
+      for (NodeId g : good) {
+        ObjectAction act;
+        act.object = object;
+        act.apply_update = true;
+        act.update = specs_[idx].update;
+        act.update_target_version = new_version;
+        act.propagate_to = stale;
+        actions[g].objects.push_back(std::move(act));
+      }
+      for (NodeId s : stale) {
+        ObjectAction act;
+        act.object = object;
+        act.mark_stale = true;
+        act.desired_version = new_version;
+        actions[s].objects.push_back(std::move(act));
+      }
+    }
+    auto self = shared_from_this();
+    TwoPhaseCommit::Run(
+        node_, owner_, std::move(actions),
+        [self, new_versions](TxOutcome outcome) {
+          if (outcome != TxOutcome::kCommitted || !self->histories_) return;
+          for (const TxnWriteSpec& spec : self->specs_) {
+            HistoryRecorder* h = self->histories_(spec.object);
+            if (h == nullptr) continue;
+            HistoryRecorder::CommittedWrite w;
+            w.version = new_versions.at(spec.object);
+            w.update = spec.update;
+            w.decided_at = self->node_->runtime()->Now();
+            w.coordinator = self->node_->self();
+            h->RecordWriteDecision(w);
+          }
+        },
+        [self, new_versions](Status s) {
+          if (s.ok()) {
+            self->Complete(TxnWriteOutcome{new_versions});
+          } else {
+            // The aborted 2PC released every participant lock; the caller
+            // retries the whole transaction under a fresh operation id.
+            self->Complete(s);
+          }
+        });
+  }
+
+  /// Releases every lock acquired across all objects (one unlock per
+  /// node releases all of that node's objects for this owner).
+  void Fail(Status status) {
+    NodeSet locked;
+    for (const PerObject& po : per_object_) {
+      locked = locked.Union(KeysOf(po.held));
+    }
+    auto self = shared_from_this();
+    ReleaseLocks(node_, owner_, locked,
+                 [self, status] { self->Complete(status); });
+  }
+
+  void Complete(Result<TxnWriteOutcome> result) {
+    rt::Runtime* sim = node_->runtime();
+    obs::MetricsRegistry& m = sim->metrics();
+    std::string outcome;
+    if (result.ok()) {
+      m.counter("op.txn.committed")->Increment();
+      m.histogram("op.txn.latency")->Observe(sim->Now() - started_at_);
+      outcome = "ok";
+    } else {
+      m.counter("op.txn.failed")->Increment();
+      outcome = StatusCodeName(result.status().code());
+    }
+    sim->tracer().EndSpan("op", "txn", node_->self(), span_id_,
+                          {{"outcome", std::move(outcome)}});
+    done_(std::move(result));
+  }
+
+  ReplicaNode* node_;
+  std::vector<TxnWriteSpec> specs_;
+  HistoryLookup histories_;
+  TxnWriteDone done_;
+  LockOwner owner_;
+  uint64_t span_id_ = 0;
+  rt::Time started_at_ = 0;
+  std::vector<PerObject> per_object_;
+  std::set<ObjectId> seen_objects_;
+  bool saw_conflict_ = false;
+};
+
+// ---------------------------------------------------------------------------
 // Epoch checking.
 // ---------------------------------------------------------------------------
 
 class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
  public:
-  EpochCheckOp(ReplicaNode* node, EpochCheckDone done)
-      : node_(node), done_(std::move(done)) {
+  /// `scoped` empty: the group-wide check (shared epoch, whole node set).
+  /// `scoped` set: per-object lineage check over the object's home set,
+  /// used by sharded deployments — same analysis, different universe.
+  EpochCheckOp(ReplicaNode* node, std::optional<ObjectId> scoped,
+               EpochCheckDone done)
+      : node_(node), scoped_(scoped), done_(std::move(done)) {
     owner_.coordinator = node_->self();
     owner_.operation_id = node_->NextOperationId();
     span_id_ = OpSpanId(owner_);
@@ -553,12 +793,21 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
   void Start() {
     rt::Runtime* sim = node_->runtime();
     sim->metrics().counter("epoch.checks_started")->Increment();
+    std::vector<std::pair<std::string, std::string>> tags;
+    if (scoped_) tags.push_back({"object", std::to_string(*scoped_)});
     sim->tracer().BeginSpan("epoch", "epoch.check", node_->self(), span_id_,
-                            {});
+                            tags);
+    auto poll = std::make_shared<EpochPollRequest>();
+    if (scoped_) {
+      poll->scoped = true;
+      poll->object = *scoped_;
+    }
+    const NodeSet& targets =
+        scoped_ ? node_->universe(*scoped_) : node_->all_nodes();
     auto self = shared_from_this();
     net::MulticastGather(
-        &node_->rpc(), node_->all_nodes(), msg::kEpochPoll,
-        net::MakePayload<EpochPollRequest>(), [self](GatherResult g) {
+        &node_->rpc(), targets, msg::kEpochPoll, poll,
+        [self](GatherResult g) {
           std::map<NodeId, EpochPollResponse> responded;
           for (auto& [node, r] : g.replies) {
             if (r.ok()) {
@@ -570,12 +819,17 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
   }
 
  private:
+  const coterie::CoterieRule& Rule() const {
+    return scoped_ ? node_->rule_for(*scoped_) : node_->rule();
+  }
+
   void Evaluate(std::map<NodeId, EpochPollResponse> responded) {
     if (responded.empty()) {
       Complete(Status::Unavailable("no replica responded to the epoch poll"));
       return;
     }
-    // The epoch part of the analysis spans the whole group.
+    // The epoch part of the analysis spans the whole group (or, scoped,
+    // the object's home set).
     EpochNumber max_epoch = 0;
     NodeSet max_epoch_list;
     NodeSet new_epoch;
@@ -586,7 +840,7 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
         max_epoch_list = resp.elist;
       }
     }
-    if (!node_->rule().IsWriteQuorum(max_epoch_list, new_epoch)) {
+    if (!Rule().IsWriteQuorum(max_epoch_list, new_epoch)) {
       Complete(Status::Unavailable(
           "respondents do not include a write quorum of epoch " +
           std::to_string(max_epoch)));
@@ -645,6 +899,10 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
       act.install_epoch = true;
       act.epoch_number = max_epoch + 1;
       act.epoch_list = new_epoch;
+      if (scoped_) {
+        act.epoch_scoped = true;
+        act.epoch_object = *scoped_;
+      }
       for (const auto& [object, oa] : by_object) {
         ObjectAction obj;
         obj.object = object;
@@ -679,6 +937,7 @@ class EpochCheckOp : public std::enable_shared_from_this<EpochCheckOp> {
   }
 
   ReplicaNode* node_;
+  std::optional<ObjectId> scoped_;
   EpochCheckDone done_;
   LockOwner owner_;
   uint64_t span_id_ = 0;
@@ -701,7 +960,22 @@ void StartRead(ReplicaNode* node, storage::ObjectId object,
 }
 
 void StartEpochCheck(ReplicaNode* node, EpochCheckDone done) {
-  auto op = std::make_shared<EpochCheckOp>(node, std::move(done));
+  auto op =
+      std::make_shared<EpochCheckOp>(node, std::nullopt, std::move(done));
+  op->Start();
+}
+
+void StartObjectEpochCheck(ReplicaNode* node, storage::ObjectId object,
+                           EpochCheckDone done) {
+  auto op = std::make_shared<EpochCheckOp>(node, object, std::move(done));
+  op->Start();
+}
+
+void StartTxnWrite(ReplicaNode* node, std::vector<TxnWriteSpec> specs,
+                   HistoryLookup histories, TxnWriteDone done) {
+  auto op = std::make_shared<TxnWriteOp>(node, std::move(specs),
+                                         std::move(histories),
+                                         std::move(done));
   op->Start();
 }
 

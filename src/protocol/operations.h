@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "protocol/history.h"
@@ -85,6 +86,49 @@ inline void StartRead(ReplicaNode* node, HistoryRecorder* history,
 /// kUnavailable when no quorum of the newest epoch responded (the data
 /// object is stuck until enough of its last epoch returns).
 void StartEpochCheck(ReplicaNode* node, EpochCheckDone done);
+
+/// Per-object epoch check for sharded deployments: same analysis as
+/// StartEpochCheck but scoped to `object`'s home set and its own epoch
+/// lineage — the poll, the quorum rule and the installed epoch all refer
+/// to that object only, so independent objects' lineages diverge and heal
+/// independently under partitions.
+void StartObjectEpochCheck(ReplicaNode* node, storage::ObjectId object,
+                           EpochCheckDone done);
+
+/// One write of a multi-object transaction.
+struct TxnWriteSpec {
+  storage::ObjectId object = 0;
+  Update update;
+};
+
+/// Result of a committed transactional write: the version each object's
+/// write produced.
+struct TxnWriteOutcome {
+  std::map<storage::ObjectId, Version> versions;
+};
+using TxnWriteDone = std::function<void(Result<TxnWriteOutcome>)>;
+
+/// Per-object history sink for transactional writes; may return nullptr
+/// for objects whose history is not being recorded. The lookup itself may
+/// also be null.
+using HistoryLookup =
+    std::function<HistoryRecorder*(storage::ObjectId)>;
+
+/// Cross-object transactional write: acquires a write quorum for every
+/// object in `specs` (objects are locked in spec order under ONE lock
+/// owner, so the per-node wound-wait arbitration resolves conflicts
+/// between concurrent transactions), then commits all updates atomically
+/// through a single 2PC whose participant set is the union of the
+/// per-object quorums. Each object may live on a different replica set —
+/// the coordinator routes by the node's object directory, so it need not
+/// host any of them. Per-object heavy fallback extends that object's lock
+/// set to its whole home set before giving up.
+///
+/// On abort every acquired lock (across all objects) is released and the
+/// caller retries with a fresh operation id; there is no built-in retry.
+/// Duplicate object ids in `specs` are rejected (kInvalidArgument).
+void StartTxnWrite(ReplicaNode* node, std::vector<TxnWriteSpec> specs,
+                   HistoryLookup histories, TxnWriteDone done);
 
 }  // namespace dcp::protocol
 

@@ -23,16 +23,48 @@ ReplicaNode::ReplicaNode(rt::Transport* transport, NodeId self,
       rule_(rule),
       options_(options) {
   assert(!initial_values.empty());
-  if (options_.durability.enabled) {
-    // Keep the birth state: durable recovery rebuilds from disk, and an
-    // empty disk means "never wrote anything" — i.e. exactly this.
-    initial_values_ = initial_values;
-  }
   for (ObjectId id = 0; id < initial_values.size(); ++id) {
+    if (options_.durability.enabled) {
+      // Keep the birth state: durable recovery rebuilds from disk, and an
+      // empty disk means "never wrote anything" — i.e. exactly this.
+      initial_values_[id] = initial_values[id];
+    }
     objects_.emplace(
         id, storage::ReplicaStore(self, epoch_,
                                   std::move(initial_values[id])));
   }
+  InitCommon();
+}
+
+ReplicaNode::ReplicaNode(rt::Transport* transport, NodeId self, NodeSet pool,
+                         const coterie::CoterieRule* rule,
+                         std::vector<HostedObjectSpec> catalog,
+                         std::map<storage::ObjectId, NodeSet> directory,
+                         ReplicaNodeOptions options)
+    : rpc_(transport, self, options.rpc_timeout),
+      self_(self),
+      all_nodes_(std::move(pool)),
+      rule_(rule),
+      options_(options),
+      sharded_(true),
+      directory_(std::move(directory)) {
+  for (HostedObjectSpec& spec : catalog) {
+    assert(directory_.count(spec.id) > 0 &&
+           "hosted object missing from placement directory");
+    if (options_.durability.enabled) {
+      initial_values_[spec.id] = spec.initial_value;
+    }
+    // Each hosted object is born with a *private* epoch lineage:
+    // (epoch 0, its home set).
+    objects_.emplace(spec.id,
+                     storage::ReplicaStore(self, spec.home,
+                                           std::move(spec.initial_value)));
+    if (spec.rule != nullptr) object_rules_[spec.id] = spec.rule;
+  }
+  InitCommon();
+}
+
+void ReplicaNode::InitCommon() {
   // Duplicate-safe: the runtime's (src, rpc_id) reply cache resends the
   // remembered reply instead of re-executing these non-idempotent
   // handlers.  // dcp-lint: rpc-dedup(reply-cache)
@@ -44,7 +76,7 @@ ReplicaNode::ReplicaNode(rt::Transport* transport, NodeId self,
   }
 
   obs::MetricsRegistry& m = runtime()->metrics();
-  const std::string p = "node." + std::to_string(self) + ".";
+  const std::string p = "node." + std::to_string(self_) + ".";
   counters_.locks_granted = m.counter(p + "locks_granted");
   counters_.lock_conflicts = m.counter(p + "lock_conflicts");
   counters_.lock_steals = m.counter(p + "lock_steals");
@@ -56,6 +88,35 @@ ReplicaNode::ReplicaNode(rt::Transport* transport, NodeId self,
   counters_.propagation_offers_sent = m.counter(p + "propagation_offers_sent");
   counters_.propagations_completed = m.counter(p + "propagations_completed");
   counters_.propagations_received = m.counter(p + "propagations_received");
+}
+
+std::vector<storage::ObjectId> ReplicaNode::HostedObjects() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, store] : objects_) ids.push_back(id);
+  return ids;
+}
+
+const NodeSet& ReplicaNode::universe(ObjectId object) const {
+  if (!sharded_) return all_nodes_;
+  auto it = directory_.find(object);
+  assert(it != directory_.end() && "object not in placement directory");
+  return it->second;
+}
+
+const coterie::CoterieRule& ReplicaNode::rule_for(ObjectId object) const {
+  auto it = object_rules_.find(object);
+  return it == object_rules_.end() ? *rule_ : *it->second;
+}
+
+storage::EpochRecord ReplicaNode::epoch_hint(ObjectId object) const {
+  if (!sharded_) return *epoch_;
+  auto it = objects_.find(object);
+  if (it != objects_.end()) {
+    return storage::EpochRecord{it->second.epoch_number(),
+                                it->second.epoch_list()};
+  }
+  return storage::EpochRecord{0, universe(object)};
 }
 
 ReplicaNodeStats ReplicaNode::stats() const {
@@ -120,9 +181,10 @@ void ReplicaNode::RelockStaged(const Staged& staged) {
     assert(s.ok() && "staged footprints must be disjoint");
     (void)s;
   };
-  if (staged.action.install_epoch) {
+  if (staged.action.install_epoch && !staged.action.epoch_scoped) {
     for (auto& [id, store] : objects_) relock(id);
   } else {
+    if (staged.action.install_epoch) relock(staged.action.epoch_object);
     for (const ObjectAction& act : staged.action.objects) relock(act.object);
   }
 }
@@ -131,19 +193,34 @@ store::RecoveredState ReplicaNode::InitialState() const {
   store::RecoveredState st;
   st.epoch_number = 0;
   st.epoch_list = all_nodes_;
-  for (ObjectId id = 0; id < initial_values_.size(); ++id) {
+  for (const auto& [id, value] : initial_values_) {
     store::RecoveredState::ObjectState os;
-    os.object = storage::VersionedObject(initial_values_[id]);
+    os.object = storage::VersionedObject(value);
     st.objects.emplace(id, std::move(os));
+    if (sharded_) {
+      st.object_epochs[id] = store::RecoveredState::ObjectEpoch{0,
+                                                                universe(id)};
+    }
   }
   return st;
 }
 
 store::RecoveredState ReplicaNode::CheckpointState() const {
   store::RecoveredState st;
-  st.epoch_number = epoch_->number;
-  st.epoch_list = epoch_->list;
+  if (epoch_) {
+    st.epoch_number = epoch_->number;
+    st.epoch_list = epoch_->list;
+  } else {
+    // Sharded: no shared group record; the per-object section below is
+    // authoritative and these legacy fields are ignored on restore.
+    st.epoch_number = 0;
+    st.epoch_list = all_nodes_;
+  }
   for (const auto& [id, replica] : objects_) {
+    if (sharded_) {
+      st.object_epochs[id] = store::RecoveredState::ObjectEpoch{
+          replica.epoch_number(), replica.epoch_list()};
+    }
     store::RecoveredState::ObjectState os;
     os.object = replica.object();
     os.stale = replica.stale();
@@ -165,11 +242,19 @@ store::RecoveredState ReplicaNode::CheckpointState() const {
 void ReplicaNode::RestoreFromDisk() {
   store::RecoveredState state = durable_->Recover(InitialState());
 
-  epoch_->number = state.epoch_number;
-  epoch_->list = state.epoch_list;
+  if (epoch_) {
+    epoch_->number = state.epoch_number;
+    epoch_->list = state.epoch_list;
+  }
   for (auto& [id, os] : state.objects) {
     objects_.at(id).RestorePersistent(std::move(os.object), os.stale,
                                       os.desired_version);
+  }
+  if (sharded_) {
+    for (auto& [id, oe] : state.object_epochs) {
+      auto it = objects_.find(id);
+      if (it != objects_.end()) it->second.SetEpoch(oe.number, oe.list);
+    }
   }
   staged_.clear();
   for (auto& [key, entry] : state.staged) {
@@ -202,8 +287,10 @@ ReplicaStateTuple ReplicaNode::StateTuple(ObjectId object) const {
   t.version = store.version();
   t.dversion = store.desired_version();
   t.stale = store.stale();
-  t.elist = epoch_->list;
-  t.enumber = epoch_->number;
+  // The store's record is the shared group record in group mode and the
+  // object's private lineage when sharded.
+  t.elist = store.epoch_list();
+  t.enumber = store.epoch_number();
   return t;
 }
 
@@ -341,7 +428,9 @@ Result<PayloadPtr> ReplicaNode::HandleRequest(NodeId from,
   if (type == msg::kOutcome) {
     return HandleOutcome(net::As<OutcomeRequest>(request));
   }
-  if (type == msg::kEpochPoll) return HandleEpochPoll();
+  if (type == msg::kEpochPoll) {
+    return HandleEpochPoll(net::As<EpochPollRequest>(request));
+  }
   if (type == msg::kPropOffer) {
     return HandlePropOffer(from, net::As<PropagationOffer>(request));
   }
@@ -367,7 +456,9 @@ Result<PayloadPtr> ReplicaNode::HandleLock(NodeId /*from*/,
     // Count grants that the relock defense would have refused: a shared
     // lock on an object inside a prepared-but-undecided footprint.
     for (const auto& [key, staged] : staged_) {
-      bool touches = staged.action.install_epoch;
+      bool touches = staged.action.install_epoch &&
+                     (!staged.action.epoch_scoped ||
+                      staged.action.epoch_object == req.object);
       for (const ObjectAction& act : staged.action.objects) {
         touches = touches || act.object == req.object;
       }
@@ -413,13 +504,17 @@ Result<PayloadPtr> ReplicaNode::HandlePrepare(const PrepareRequest& req) {
   // Concurrent prepared transactions are fine as long as their lock
   // footprints are disjoint (the TryLock calls below enforce that);
   // e.g. writes to different objects of the group stage independently.
-  // Determine the lock footprint: epoch installs cover every object of
-  // the group (the change must be atomic w.r.t. all reads and writes);
-  // plain writes cover the objects they touch.
+  // Determine the lock footprint: group-wide epoch installs cover every
+  // object of the group (the change must be atomic w.r.t. all reads and
+  // writes); scoped installs (per-object lineages) cover their one
+  // object; plain writes cover the objects they touch.
   std::vector<ObjectId> footprint;
-  if (req.action.install_epoch) {
+  if (req.action.install_epoch && !req.action.epoch_scoped) {
     for (const auto& [id, store] : objects_) footprint.push_back(id);
   } else {
+    if (req.action.install_epoch) {
+      footprint.push_back(req.action.epoch_object);
+    }
     for (const ObjectAction& act : req.action.objects) {
       footprint.push_back(act.object);
     }
@@ -484,9 +579,29 @@ Result<PayloadPtr> ReplicaNode::HandleOutcome(const OutcomeRequest& req) {
   return PayloadPtr(std::move(resp));
 }
 
-Result<PayloadPtr> ReplicaNode::HandleEpochPoll() {
+Result<PayloadPtr> ReplicaNode::HandleEpochPoll(const EpochPollRequest& req) {
   auto resp = std::make_shared<EpochPollResponse>();
   resp->node = self_;
+  if (req.scoped) {
+    // Per-object lineage: report exactly the polled object's epoch and
+    // state (the response shape is unchanged — one tuple).
+    auto it = objects_.find(req.object);
+    if (it == objects_.end()) return Status::NotFound("no such object");
+    const storage::ReplicaStore& store = it->second;
+    resp->enumber = store.epoch_number();
+    resp->elist = store.epoch_list();
+    ObjectStateTuple t;
+    t.object = req.object;
+    t.version = store.version();
+    t.dversion = store.desired_version();
+    t.stale = store.stale();
+    resp->objects.push_back(t);
+    return PayloadPtr(std::move(resp));
+  }
+  if (sharded_) {
+    // No shared group epoch exists; an unscoped poll is a caller bug.
+    return Status::InvalidArgument("sharded node requires scoped epoch poll");
+  }
   resp->enumber = epoch_->number;
   resp->elist = epoch_->list;
   for (const auto& [id, store] : objects_) {
@@ -513,7 +628,23 @@ void ReplicaNode::CommitStaged(const LockOwner& tx) {
   counters_.commits->Increment();
 
   const StagedAction& action = staged.action;
-  if (action.install_epoch) {
+  if (action.install_epoch && action.epoch_scoped) {
+    // Per-object lineage install: only the named object's record moves.
+    auto oit = objects_.find(action.epoch_object);
+    if (oit != objects_.end()) {
+      oit->second.SetEpoch(action.epoch_number, action.epoch_list);
+      if (durable_) {
+        durable_->LogObjectEpochInstall(action.epoch_object,
+                                        action.epoch_number,
+                                        action.epoch_list);
+      }
+      runtime()->tracer().Instant(
+          "epoch", "epoch.install", self_,
+          {{"object", std::to_string(action.epoch_object)},
+           {"number", std::to_string(action.epoch_number)},
+           {"members", std::to_string(action.epoch_list.Size())}});
+    }
+  } else if (action.install_epoch) {
     epoch_->number = action.epoch_number;
     epoch_->list = action.epoch_list;
     if (durable_) {
@@ -759,9 +890,10 @@ void ReplicaNode::RunPropagationRound() {
       if (!pending.Empty()) any_pending = true;
       continue;
     }
-    // Drop targets that have left the current epoch: they will be caught
-    // up (or marked stale again) by the epoch change that re-admits them.
-    pending = pending.Intersection(epoch_->list);
+    // Drop targets that have left the object's current epoch: they will be
+    // caught up (or marked stale again) by the epoch change that re-admits
+    // them. (Group mode: the store's record is the shared group record.)
+    pending = pending.Intersection(objects_.at(object).epoch_list());
     if (pending.Empty()) continue;
     any_pending = true;
     any_offered = true;

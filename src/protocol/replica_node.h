@@ -100,6 +100,18 @@ struct ReplicaNodeStats {
   uint64_t propagations_received = 0;   ///< As target (caught up).
 };
 
+/// One object replica hosted by a node in a *sharded* deployment: which
+/// object, where its replicas live (the initial — epoch-0 — member list of
+/// its private epoch lineage), under which coterie rule, and its birth
+/// value. Produced by the placement layer (src/shard/placement.h).
+struct HostedObjectSpec {
+  storage::ObjectId id = 0;
+  NodeSet home;
+  /// Rule governing this object's quorums; nullptr = the node's default.
+  const coterie::CoterieRule* rule = nullptr;
+  std::vector<uint8_t> initial_value;
+};
+
 /// One replica node hosting a *group* of data items that share an epoch
 /// (Section 2: epoch management is amortized over the whole group). The
 /// node is the RPC service handling every protocol message of Section 4 /
@@ -130,6 +142,18 @@ class ReplicaNode : public net::RpcService {
                         std::move(initial_value)},
                     options) {}
 
+  /// Sharded constructor: the node hosts exactly the objects in `catalog`,
+  /// each with its *own* epoch lineage born as (0, spec.home) — no shared
+  /// group epoch exists. `pool` is the whole node pool (for 2PC peers and
+  /// the daemon); `directory` maps every object of the deployment (hosted
+  /// here or not) to its home set, so this node can coordinate
+  /// cross-object transactions over objects it does not host.
+  ReplicaNode(rt::Transport* transport, NodeId self, NodeSet pool,
+              const coterie::CoterieRule* rule,
+              std::vector<HostedObjectSpec> catalog,
+              std::map<storage::ObjectId, NodeSet> directory,
+              ReplicaNodeOptions options = {});
+
   ReplicaNode(const ReplicaNode&) = delete;
   ReplicaNode& operator=(const ReplicaNode&) = delete;
 
@@ -144,9 +168,37 @@ class ReplicaNode : public net::RpcService {
   const storage::ReplicaStore& store(ObjectId object = 0) const {
     return objects_.at(object);
   }
+  /// The shared group epoch. Group mode only — sharded nodes have one
+  /// lineage per object (see epoch_hint / store(object).epoch_record()).
   const storage::EpochRecord& epoch() const { return *epoch_; }
   const coterie::CoterieRule& rule() const { return *rule_; }
   const NodeSet& all_nodes() const { return all_nodes_; }
+
+  /// True when this node was built from a placement catalog (per-object
+  /// epoch lineages) rather than as one epoch-sharing group.
+  bool sharded() const { return sharded_; }
+  bool HostsObject(ObjectId object) const {
+    return objects_.count(object) > 0;
+  }
+  /// Ids of the objects hosted here, ascending.
+  std::vector<ObjectId> HostedObjects() const;
+
+  /// The node universe of one object: the whole cluster in group mode,
+  /// the object's home set (per the placement directory) when sharded.
+  /// Coordinator operations bound their heavy procedure — and epoch
+  /// membership — by this set.
+  const NodeSet& universe(ObjectId object) const;
+
+  /// The coterie rule governing `object` (group mode: the node default).
+  const coterie::CoterieRule& rule_for(ObjectId object) const;
+
+  /// Best local guess of `object`'s current epoch, used by coordinator
+  /// operations to pick a first-round quorum. Group mode: the shared
+  /// record. Sharded: the hosted store's record, or (0, home) for objects
+  /// this node does not host — a stale guess only costs the operation its
+  /// fast path, since quorum analysis re-derives the true epoch from the
+  /// lock responses.
+  storage::EpochRecord epoch_hint(ObjectId object) const;
   const ReplicaNodeOptions& options() const { return options_; }
   /// Snapshot of this node's registry counters ("node.<id>.*").
   ReplicaNodeStats stats() const;
@@ -239,6 +291,10 @@ class ReplicaNode : public net::RpcService {
     NodeSet participants;
   };
 
+  /// Shared tail of both constructors (service registration, durability,
+  /// counter caching).
+  void InitCommon();
+
   // Request handlers.
   [[nodiscard]]
   Result<net::PayloadPtr> HandleLock(NodeId from, const LockRequest& req);
@@ -250,7 +306,8 @@ class ReplicaNode : public net::RpcService {
   [[nodiscard]] Result<net::PayloadPtr> HandleAbort(const AbortRequest& req);
   [[nodiscard]]
   Result<net::PayloadPtr> HandleOutcome(const OutcomeRequest& req);
-  [[nodiscard]] Result<net::PayloadPtr> HandleEpochPoll();
+  [[nodiscard]]
+  Result<net::PayloadPtr> HandleEpochPoll(const EpochPollRequest& req);
   [[nodiscard]] Result<net::PayloadPtr> HandlePropOffer(NodeId from,
                                           const PropagationOffer& req);
   [[nodiscard]] Result<net::PayloadPtr> HandlePropData(NodeId from,
@@ -306,6 +363,8 @@ class ReplicaNode : public net::RpcService {
 
   net::RpcRuntime rpc_;
   NodeId self_;
+  /// Group mode: the shared epoch record. Sharded mode: null — each
+  /// hosted store owns a private record instead.
   std::shared_ptr<storage::EpochRecord> epoch_;
   std::map<ObjectId, storage::ReplicaStore> objects_;
   NodeSet all_nodes_;
@@ -314,11 +373,18 @@ class ReplicaNode : public net::RpcService {
   NodeCounters counters_;
   ExtensionHandler extension_handler_;
 
+  /// Sharded mode only: every object's home set (the placement
+  /// directory) and, for objects whose coterie class differs from the
+  /// node default, the governing rule.
+  bool sharded_ = false;
+  std::map<ObjectId, NodeSet> directory_;
+  std::map<ObjectId, const coterie::CoterieRule*> object_rules_;
+
   /// Durable engine; null with durability off. `initial_values_` is the
   /// birth state Recover() rebuilds from when the disk is empty (kept
   /// only when durable).
   std::unique_ptr<store::DurableStore> durable_;
-  std::vector<std::vector<uint8_t>> initial_values_;
+  std::map<ObjectId, std::vector<uint8_t>> initial_values_;
 
   // Persistent: 2PC participant + coordinator logs. Several transactions
   // may be prepared concurrently (they necessarily touch disjoint lock

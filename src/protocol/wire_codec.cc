@@ -176,8 +176,14 @@ bool PutPayload(ByteWriter& w, const net::PayloadPtr& p) {
     w.Bool(v->in_progress);
     return true;
   }
-  if (dynamic_cast<const EpochPollRequest*>(raw) != nullptr) {
+  if (auto* v = dynamic_cast<const EpochPollRequest*>(raw)) {
     w.U8(static_cast<uint8_t>(Body::kEpochPollRequest));
+    // Backward-compatible trailer: only scoped polls (per-object epoch
+    // lineages) carry a scope; an unscoped poll stays a bare tag byte.
+    if (v->scoped) {
+      w.Bool(true);
+      w.U32(v->object);
+    }
     return true;
   }
   if (auto* v = dynamic_cast<const EpochPollResponse*>(raw)) {
@@ -315,8 +321,14 @@ net::PayloadPtr GetPayload(ByteReader& r, bool* ok) {
       v->in_progress = r.Bool();
       return v;
     }
-    case Body::kEpochPollRequest:
-      return std::make_shared<EpochPollRequest>();
+    case Body::kEpochPollRequest: {
+      auto v = std::make_shared<EpochPollRequest>();
+      if (r.ok() && r.remaining() > 0) {
+        v->scoped = r.Bool();
+        v->object = r.U32();
+      }
+      return v;
+    }
     case Body::kEpochPollResponse: {
       auto v = std::make_shared<EpochPollResponse>();
       v->node = r.U32();

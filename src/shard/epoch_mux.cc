@@ -1,0 +1,129 @@
+#include "shard/epoch_mux.h"
+
+#include <algorithm>
+#include <string>
+
+#include "net/rpc.h"
+#include "protocol/operations.h"
+
+namespace dcp::shard {
+
+EpochMux::EpochMux(
+    protocol::ReplicaNode* node,
+    std::vector<std::pair<storage::ObjectId, std::vector<NodeId>>> ranked,
+    EpochMuxOptions options)
+    : node_(node), options_(options) {
+  for (auto& [object, ranking] : ranked) {
+    ring_.push_back(object);
+    rankings_[object] = std::move(ranking);
+  }
+
+  // One timer per node: visit the whole ring once per check_interval by
+  // ticking `rounds` times per interval, batch_per_tick objects per tick.
+  uint32_t batch = std::max<uint32_t>(1, options_.batch_per_tick);
+  size_t rounds =
+      ring_.empty() ? 1 : (ring_.size() + batch - 1) / batch;
+  tick_interval_ = options_.check_interval / static_cast<rt::Time>(rounds);
+
+  obs::MetricsRegistry& m = node_->runtime()->metrics();
+  const std::string p = "shard.mux." + std::to_string(node_->self()) + ".";
+  ticks_ = m.counter(p + "ticks");
+  checks_run_ = m.counter(p + "checks_run");
+  checks_ok_ = m.counter(p + "checks_ok");
+  checks_failed_ = m.counter(p + "checks_failed");
+  dirty_checks_ = m.counter(p + "dirty_checks");
+
+  // Stagger first fires by node id so muxes do not tick in lockstep.
+  rt::Time stagger = static_cast<rt::Time>(node_->self()) *
+                     (tick_interval_ / (node_->all_nodes().Size() + 1));
+  ticker_ = std::make_unique<rt::PeriodicTimer>(
+      node_->runtime(), tick_interval_ + stagger, tick_interval_,
+      [this] { Tick(); });
+}
+
+EpochMux::~EpochMux() = default;
+
+EpochMuxStats EpochMux::stats() const {
+  EpochMuxStats s;
+  s.ticks = ticks_->value();
+  s.checks_run = checks_run_->value();
+  s.checks_ok = checks_ok_->value();
+  s.checks_failed = checks_failed_->value();
+  s.dirty_checks = dirty_checks_->value();
+  return s;
+}
+
+void EpochMux::MarkDirty(storage::ObjectId object) {
+  if (rankings_.count(object) > 0) dirty_.insert(object);
+}
+
+void EpochMux::OnCrash() {
+  in_flight_.clear();
+  dirty_.clear();
+}
+
+void EpochMux::OnRecover() {
+  // A recovered node's hosted replicas may be arbitrarily stale; have the
+  // duty holders re-examine every lineage promptly.
+  for (storage::ObjectId object : ring_) dirty_.insert(object);
+}
+
+void EpochMux::Tick() {
+  if (!node_->rpc().transport()->IsUp(node_->self())) return;
+  ticks_->Increment();
+  if (ring_.empty()) return;
+
+  // Dirty objects first: they asked for prompt attention.
+  std::set<storage::ObjectId> dirty;
+  dirty.swap(dirty_);
+  for (storage::ObjectId object : dirty) MaybeCheck(object, true);
+
+  uint32_t batch = std::max<uint32_t>(1, options_.batch_per_tick);
+  for (uint32_t i = 0; i < batch && i < ring_.size(); ++i) {
+    storage::ObjectId object = ring_[cursor_];
+    cursor_ = (cursor_ + 1) % ring_.size();
+    MaybeCheck(object, false);
+  }
+}
+
+bool EpochMux::HoldsDuty(storage::ObjectId object) const {
+  rt::Transport* transport = node_->rpc().transport();
+  auto it = rankings_.find(object);
+  if (it != rankings_.end()) {
+    for (NodeId n : it->second) {
+      if (transport->IsUp(n)) return n == node_->self();
+    }
+    return false;
+  }
+  // No ranking known (shouldn't happen for hosted objects): fall back to
+  // the first live member of the object's home set.
+  for (NodeId n : node_->universe(object)) {
+    if (transport->IsUp(n)) return n == node_->self();
+  }
+  return false;
+}
+
+void EpochMux::MaybeCheck(storage::ObjectId object, bool from_dirty) {
+  if (in_flight_.count(object) > 0) return;
+  if (!HoldsDuty(object)) return;
+  in_flight_.insert(object);
+  checks_run_->Increment();
+  if (from_dirty) dirty_checks_->Increment();
+  node_->runtime()
+      ->metrics()
+      .labeled_counter("shard.mux.object_checks", std::to_string(object),
+                       options_.metric_cap)
+      ->Increment();
+  protocol::StartObjectEpochCheck(node_, object, [this, object](Status s) {
+    in_flight_.erase(object);
+    if (s.ok()) {
+      checks_ok_->Increment();
+    } else {
+      checks_failed_->Increment();
+      // Try again promptly; the lineage may still be split.
+      dirty_.insert(object);
+    }
+  });
+}
+
+}  // namespace dcp::shard

@@ -1,0 +1,159 @@
+#ifndef DCP_SHARD_SHARDED_CLUSTER_H_
+#define DCP_SHARD_SHARDED_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "protocol/cluster.h"
+#include "protocol/history.h"
+#include "protocol/operations.h"
+#include "protocol/replica_node.h"
+#include "shard/epoch_mux.h"
+#include "shard/placement.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace dcp::shard {
+
+struct ShardedClusterOptions {
+  uint32_t num_nodes = 7;
+  uint32_t num_objects = 64;
+  uint32_t replication_factor = 3;
+  /// Coterie rule per placement class; each object is deterministically
+  /// assigned one class by the placement layer. One entry = every object
+  /// shares the rule.
+  std::vector<protocol::CoterieKind> coterie_classes = {
+      protocol::CoterieKind::kMajority};
+  uint64_t seed = 1;
+  net::LatencyModel latency{1.0, 0.5};
+  net::FaultModel fault_model;
+  std::vector<uint8_t> initial_value;  ///< Shared by all objects.
+  protocol::ReplicaNodeOptions node_options;
+  store::DurabilityOptions durability;
+  protocol::WriteOptions write_options;
+  protocol::RetryPolicy retry_policy;
+
+  /// Start the multiplexed epoch daemon (one timer per node) everywhere.
+  bool start_epoch_muxes = false;
+  EpochMuxOptions mux_options;
+
+  bool enable_tracing = false;
+};
+
+/// An in-simulator deployment of a MULTI-OBJECT sharded cluster: the
+/// placement layer maps each object to a replica subset of the node pool,
+/// every node is built from its placement catalog (per-object epoch
+/// lineages), and object operations route to home-set coordinators. The
+/// sharded sibling of protocol::Cluster, sharing its synchronous-wrapper
+/// and fault-injection idioms.
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterOptions options);
+  ~ShardedCluster();
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  obs::MetricsRegistry& metrics() { return sim_.metrics(); }
+  const ObjectTable& table() const { return table_; }
+  protocol::ReplicaNode& node(NodeId id) { return *nodes_[id]; }
+  EpochMux& mux(NodeId id) { return *muxes_[id]; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t num_objects() const { return options_.num_objects; }
+  const ShardedClusterOptions& options() const { return options_; }
+  protocol::HistoryRecorder& history(storage::ObjectId object) {
+    return histories_[object];
+  }
+  /// The object's home replica set per the placement table.
+  const NodeSet& HomeNodes(storage::ObjectId object) const {
+    return table_.placement(object).replicas;
+  }
+
+  /// Picks a coordinator for `object`: a live home node (rotated by the
+  /// cluster RNG), falling back to any live node, then home member 0.
+  NodeId RouteCoordinator(storage::ObjectId object);
+
+  // --- asynchronous client operations ---
+  void Write(NodeId coordinator, storage::ObjectId object, storage::Update update,
+             protocol::WriteDone done);
+  void Read(NodeId coordinator, storage::ObjectId object,
+            protocol::ReadDone done);
+  void TxnWrite(NodeId coordinator, std::vector<protocol::TxnWriteSpec> specs,
+                protocol::TxnWriteDone done);
+  void CheckObjectEpoch(NodeId initiator, storage::ObjectId object,
+                        protocol::EpochCheckDone done);
+
+  // --- synchronous wrappers (run the simulation until completion) ---
+  [[nodiscard]]
+  Result<protocol::WriteOutcome> WriteSync(NodeId coordinator,
+                                           storage::ObjectId object,
+                                           storage::Update update);
+  [[nodiscard]]
+  Result<protocol::ReadOutcome> ReadSync(NodeId coordinator,
+                                         storage::ObjectId object);
+  [[nodiscard]]
+  Result<protocol::TxnWriteOutcome> TxnWriteSync(
+      NodeId coordinator, std::vector<protocol::TxnWriteSpec> specs);
+  [[nodiscard]] Status CheckObjectEpochSync(NodeId initiator,
+                                            storage::ObjectId object);
+  [[nodiscard]]
+  Result<protocol::WriteOutcome> WriteSyncRetry(NodeId coordinator,
+                                                storage::ObjectId object,
+                                                storage::Update update,
+                                                int max_attempts = 10);
+  [[nodiscard]]
+  Result<protocol::ReadOutcome> ReadSyncRetry(NodeId coordinator,
+                                              storage::ObjectId object,
+                                              int max_attempts = 10);
+
+  // --- fault injection (mirrors protocol::Cluster) ---
+  void Crash(NodeId id);
+  void Recover(NodeId id);
+  void Partition(const std::vector<NodeSet>& groups);
+  void Heal();
+  NodeSet UpNodes() const;
+  void RunFor(sim::Time duration);
+
+  /// True iff no node currently has a prepared-but-undecided 2PC action.
+  bool Quiescent() const;
+
+  // --- invariant checking (test support) ---
+
+  /// Lemma-1 epoch invariants PER OBJECT, over the object's home set and
+  /// its own lineage: home nodes sharing an epoch number agree on the
+  /// list; only the maximum epoch present can assemble a write quorum
+  /// (under the object's rule) from its own members.
+  [[nodiscard]] Status CheckEpochInvariants() const;
+
+  /// Per-object replica consistency over home replicas: all non-stale
+  /// copies at the max version agree byte-for-byte; stale copies are
+  /// strictly behind their desired version.
+  [[nodiscard]] Status CheckReplicaConsistency() const;
+
+  /// One-copy serializability of every object's recorded history.
+  [[nodiscard]] Status CheckHistory() const;
+
+ private:
+  const coterie::CoterieRule& RuleFor(storage::ObjectId object) const {
+    return *rules_[table_.placement(object).coterie_class];
+  }
+
+  ShardedClusterOptions options_;
+  sim::Simulator sim_;
+  Rng rng_;
+  ObjectTable table_;
+  std::vector<std::unique_ptr<coterie::CoterieRule>> rules_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<protocol::ReplicaNode>> nodes_;
+  std::vector<std::unique_ptr<EpochMux>> muxes_;
+  std::map<storage::ObjectId, protocol::HistoryRecorder> histories_;
+};
+
+}  // namespace dcp::shard
+
+#endif  // DCP_SHARD_SHARDED_CLUSTER_H_

@@ -39,6 +39,17 @@ void PutState(ByteWriter& w, const RecoveredState& s) {
     PutNodeSet(w, targets);
   }
   w.U64(s.next_operation_id);
+  // Backward-compatible trailer: only sharded deployments (per-object
+  // epoch lineages) append this section, so a group-mode checkpoint stays
+  // byte-identical to the pre-sharding format.
+  if (!s.object_epochs.empty()) {
+    w.U32(static_cast<uint32_t>(s.object_epochs.size()));
+    for (const auto& [object, oe] : s.object_epochs) {
+      w.U32(object);
+      w.U64(oe.number);
+      PutNodeSet(w, oe.list);
+    }
+  }
 }
 
 bool GetState(ByteReader& r, RecoveredState* s) {
@@ -82,6 +93,17 @@ bool GetState(ByteReader& r, RecoveredState* s) {
     s->pending_propagation[object] = GetNodeSet(r);
   }
   s->next_operation_id = r.U64();
+  s->object_epochs.clear();
+  if (r.ok() && r.remaining() > 0) {
+    uint32_t n_oe = r.U32();
+    for (uint32_t i = 0; i < n_oe && r.ok(); ++i) {
+      storage::ObjectId object = r.U32();
+      RecoveredState::ObjectEpoch oe;
+      oe.number = r.U64();
+      oe.list = GetNodeSet(r);
+      s->object_epochs.emplace(object, std::move(oe));
+    }
+  }
   return r.ok();
 }
 
@@ -150,6 +172,16 @@ void DurableStore::LogEpochInstall(storage::EpochNumber number,
   w.U64(number);
   PutNodeSet(w, list);
   AppendRecord(RecordType::kEpochInstall, w);
+}
+
+void DurableStore::LogObjectEpochInstall(storage::ObjectId object,
+                                         storage::EpochNumber number,
+                                         const NodeSet& list) {
+  ByteWriter w;
+  w.U32(object);
+  w.U64(number);
+  PutNodeSet(w, list);
+  AppendRecord(RecordType::kObjectEpochInstall, w);
 }
 
 void DurableStore::LogStage(const storage::LockOwner& owner,
@@ -383,6 +415,19 @@ void DurableStore::ApplyRecord(RecoveredState& state, uint8_t type,
       if (!r.ok()) return;
       if (watermark > state.next_operation_id) {
         state.next_operation_id = watermark;
+      }
+      break;
+    }
+    case RecordType::kObjectEpochInstall: {
+      storage::ObjectId object = r.U32();
+      storage::EpochNumber number = r.U64();
+      NodeSet list = GetNodeSet(r);
+      if (!r.ok()) return;
+      // Per-object lineages are monotone, independently of one another.
+      RecoveredState::ObjectEpoch& oe = state.object_epochs[object];
+      if (number >= oe.number) {
+        oe.number = number;
+        oe.list = list;
       }
       break;
     }

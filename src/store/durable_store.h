@@ -63,6 +63,16 @@ struct RecoveredState {
   std::map<TxKey, uint8_t> outcomes;
   std::map<storage::ObjectId, NodeSet> pending_propagation;
   uint64_t next_operation_id = 1;
+
+  /// Sharded deployments: each hosted object's own epoch lineage (the
+  /// group-wide epoch_number/epoch_list above are then unused). Empty in
+  /// group mode, where both the checkpoint image and the redo stream stay
+  /// byte-identical to the pre-sharding format.
+  struct ObjectEpoch {
+    storage::EpochNumber number = 0;
+    NodeSet list;
+  };
+  std::map<storage::ObjectId, ObjectEpoch> object_epochs;
 };
 
 /// What Recover() did, for tests and the demo.
@@ -98,6 +108,9 @@ class DurableStore {
   void LogMarkStale(storage::ObjectId object, storage::Version desired);
   void LogClearStale(storage::ObjectId object);
   void LogEpochInstall(storage::EpochNumber number, const NodeSet& list);
+  /// Scoped (per-object lineage) variant used by sharded deployments.
+  void LogObjectEpochInstall(storage::ObjectId object,
+                             storage::EpochNumber number, const NodeSet& list);
   void LogStage(const storage::LockOwner& owner, const NodeSet& participants,
                 const std::vector<uint8_t>& action);
   void LogResolve(const storage::LockOwner& owner, uint8_t outcome);
@@ -161,6 +174,7 @@ class DurableStore {
     kPropDone = 9,
     kOpWatermark = 10,
     kDecide = 11,
+    kObjectEpochInstall = 12,
   };
 
   void AppendRecord(RecordType type, ByteWriter& payload);

@@ -1,0 +1,68 @@
+#ifndef DCP_UTIL_ZIPFIAN_H_
+#define DCP_UTIL_ZIPFIAN_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace dcp {
+
+/// YCSB-style Zipfian key generator over [0, n): item 0 is the hottest,
+/// popularity decays as 1/rank^theta. theta in [0, 1); 0.99 is the YCSB
+/// default (heavily skewed), smaller values flatten toward uniform. The
+/// harmonic normalizer is computed once at construction (O(n)); sampling
+/// is O(1) and draws exactly one double from the caller's RNG, so runs
+/// stay deterministic per seed.
+///
+/// Gray et al.'s rejection-free inverse construction, as popularized by
+/// the YCSB ScrambledZipfianGenerator (minus the scrambling — callers
+/// wanting uncorrelated hot keys can permute ids on top).
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint32_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    assert(n > 0);
+    assert(theta >= 0 && theta < 1);
+    zeta_n_ = Zeta(n_, theta_);
+    double zeta2 = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zeta_n_);
+  }
+
+  uint32_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Draws one key; consumes exactly one NextDouble() from `rng`.
+  uint32_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    uint32_t key = static_cast<uint32_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return key < n_ ? key : n_ - 1;
+  }
+
+ private:
+  static double Zeta(uint32_t n, double theta) {
+    double sum = 0;
+    for (uint32_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint32_t n_;
+  double theta_;
+  double zeta_n_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_UTIL_ZIPFIAN_H_

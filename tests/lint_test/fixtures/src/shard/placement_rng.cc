@@ -1,0 +1,49 @@
+// dcp_lint fixture: the sharded-cluster placement/workload RNG roots.
+// The placement layer is pure hashing (no stream), but the sharded
+// cluster harness owns ONE annotated seeded root for fault injection and
+// workload arrivals; any other fresh stream in shard code is a
+// determinism bug. Mirrors src/shard/ so the src-only rules see library
+// code.
+
+struct Rng {
+  explicit Rng(unsigned long long seed) { (void)seed; }
+  void Seed(unsigned long long seed) { (void)seed; }
+  unsigned long long Next64() { return 0; }
+};
+
+struct ShardedClusterOptions {
+  unsigned long long seed = 1;
+};
+
+// The blessed root: seeded once from the options, annotated with the
+// standalone-line-above form — exactly how the real harness does it.
+struct ShardedCluster {
+  explicit ShardedCluster(const ShardedClusterOptions& options)
+      // dcp-lint: allow(raw-rng)
+      : rng_(options.seed) {}
+  Rng rng_;
+};
+
+// A per-object "convenience" stream without the annotation: caught. This
+// is the regression the fixture pins — placement must stay hash-pure and
+// every shard-layer stream must be an annotated, seeded root.
+struct ObjectShuffler {
+  explicit ObjectShuffler(unsigned long long object_id)
+      : rng_(object_id) {}  // dcp-lint-expect: raw-rng
+  Rng rng_;
+};
+
+// Re-seeding a member stream from another stream is also a new root
+// unless annotated.
+struct PerObjectFaults {
+  void Ensure(Rng& base) {
+    fault_rng_.Seed(base.Next64());  // dcp-lint-expect: raw-rng
+  }
+  Rng fault_rng_{0};  // dcp-lint-expect: raw-rng
+};
+
+// Clean: handing an existing stream around is not a new root.
+struct MuxDriver {
+  explicit MuxDriver(Rng rng) : rng_(rng) {}
+  Rng rng_;
+};

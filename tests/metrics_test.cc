@@ -160,6 +160,46 @@ TEST(MetricsRegistry, ToJsonParsesBack) {
   ASSERT_EQ(buckets->items.size(), 3u);  // Two bounds + inf.
 }
 
+// --- bounded label cardinality ---------------------------------------------
+
+TEST(MetricsRegistry, LabeledCounterCapsFamilyCardinality) {
+  MetricsRegistry reg;
+  // First `max_labels` distinct labels get their own counter...
+  for (int i = 0; i < 4; ++i) {
+    reg.labeled_counter("shard.checks", std::to_string(i), 4)->Increment();
+  }
+  // ...every later label folds into the family's overflow bucket.
+  for (int i = 4; i < 100; ++i) {
+    reg.labeled_counter("shard.checks", std::to_string(i), 4)->Increment();
+  }
+  EXPECT_EQ(reg.counters().size(), 5u);  // 4 labels + overflow.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(reg.counter("shard.checks." + std::to_string(i))->value(), 1u);
+  }
+  EXPECT_EQ(reg.counter("shard.checks.overflow")->value(), 96u);
+}
+
+TEST(MetricsRegistry, LabeledCounterExistingLabelsSurviveTheCap) {
+  MetricsRegistry reg;
+  Counter* a = reg.labeled_counter("f", "a", 1);
+  // The family is at its cap, but a's handle stays addressable — only
+  // first-sight labels are folded.
+  EXPECT_EQ(reg.labeled_counter("f", "a", 1), a);
+  Counter* b = reg.labeled_counter("f", "b", 1);
+  EXPECT_EQ(b, reg.counter("f.overflow"));
+  EXPECT_NE(a, b);
+}
+
+TEST(MetricsRegistry, LabeledCounterFamiliesAreIndependent) {
+  MetricsRegistry reg;
+  reg.labeled_counter("x", "1", 2)->Increment();
+  reg.labeled_counter("x", "2", 2)->Increment();
+  // Family y has its own budget even though x is full.
+  Counter* y = reg.labeled_counter("y", "1", 2);
+  EXPECT_EQ(y, reg.counter("y.1"));
+  EXPECT_EQ(reg.labeled_counter("x", "3", 2), reg.counter("x.overflow"));
+}
+
 // --- whole-stack determinism ------------------------------------------------
 
 std::string MetricsSnapshotForSeed(uint64_t seed) {

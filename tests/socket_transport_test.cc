@@ -129,5 +129,85 @@ TEST(SocketTransportTest, ConcurrentCoordinatorsMakeProgress) {
             (std::vector<uint8_t>{1, 2, 3, 4}));
 }
 
+TEST(SocketTransportTest, ShardedMultiObjectClusterOverSockets) {
+  // Sharded deployment over the real transport: objects live on
+  // placement-chosen subsets with private epoch lineages.
+  SocketClusterOptions o = SmokeOptions();
+  o.sharded = true;
+  o.num_objects = 16;
+  o.replication_factor = 3;
+  SocketCluster cluster(o);
+  ASSERT_TRUE(cluster.Start().ok());
+  const shard::ObjectTable* table = cluster.table();
+  ASSERT_NE(table, nullptr);
+
+  for (storage::ObjectId obj = 0; obj < o.num_objects; ++obj) {
+    NodeId coord = table->placement(obj).ranking[0];
+    auto w = cluster.WriteSyncRetry(
+        coord, obj, Update::Total({static_cast<uint8_t>(obj), 0xAB}));
+    ASSERT_TRUE(w.ok()) << "object " << obj << ": " << w.status().ToString();
+    EXPECT_EQ(w->version, 1u);
+    // Read back through a different home replica.
+    NodeId reader = table->placement(obj).ranking[1];
+    auto r = cluster.ReadSync(reader, obj);
+    ASSERT_TRUE(r.ok()) << "object " << obj << ": " << r.status().ToString();
+    EXPECT_EQ(r->data,
+              (std::vector<uint8_t>{static_cast<uint8_t>(obj), 0xAB}));
+  }
+
+  // The group-wide epoch check has no meaning here and must not succeed.
+  EXPECT_FALSE(cluster.CheckEpochSync(0).ok());
+}
+
+TEST(SocketTransportTest, ShardedScopedEpochCheckShrinksOneLineage) {
+  SocketClusterOptions o = SmokeOptions();
+  o.sharded = true;
+  o.num_objects = 16;
+  o.replication_factor = 3;
+  SocketCluster cluster(o);
+  ASSERT_TRUE(cluster.Start().ok());
+  const shard::ObjectTable* table = cluster.table();
+  ASSERT_NE(table, nullptr);
+
+  // One object homed on node 4, one not — their lineages must move
+  // independently.
+  storage::ObjectId on4 = o.num_objects, off4 = o.num_objects;
+  for (storage::ObjectId obj = 0; obj < o.num_objects; ++obj) {
+    if (table->placement(obj).replicas.Contains(4)) {
+      if (on4 == o.num_objects) on4 = obj;
+    } else if (off4 == o.num_objects) {
+      off4 = obj;
+    }
+  }
+  ASSERT_LT(on4, o.num_objects);
+  ASSERT_LT(off4, o.num_objects);
+
+  cluster.SetNodeUp(4, false);
+  NodeSet live_home = table->placement(on4).replicas;
+  live_home.Erase(4);
+  NodeId initiator = live_home.NthMember(0);
+  Status s = cluster.CheckObjectEpochSync(initiator, on4);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(cluster.node(initiator).store(on4).epoch_number(), 1u);
+  EXPECT_EQ(cluster.node(initiator).store(on4).epoch_list(), live_home);
+  // The other object's lineage is untouched by node 4's failure.
+  NodeId other = table->placement(off4).ranking[0];
+  EXPECT_EQ(cluster.node(other).store(off4).epoch_number(), 0u);
+
+  // Writes keep landing in the shrunken lineage.
+  auto w = cluster.WriteSyncRetry(initiator, on4, Update::Total({5, 5}));
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+
+  // Node 4 returns; a second scoped check readmits it.
+  cluster.SetNodeUp(4, true);
+  s = cluster.CheckObjectEpochSync(initiator, on4);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(cluster.node(initiator).store(on4).epoch_list(),
+            table->placement(on4).replicas);
+  auto r = cluster.ReadSync(live_home.NthMember(1), on4);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->data, (std::vector<uint8_t>{5, 5}));
+}
+
 }  // namespace
 }  // namespace dcp::harness
