@@ -55,6 +55,13 @@ struct SocketClusterOptions {
 /// No history recorder is attached: operations here complete in real
 /// time, and the linearizability audits run on the deterministic
 /// backend where they are reproducible.
+///
+/// Thread safety: this facade holds no locks of its own — each blocking
+/// call synchronizes through a one-shot promise/future pair handed to
+/// the coordinator's runtime, and all mutable protocol state lives
+/// behind the transport's annotated mutexes (util/thread_annotations.h,
+/// DESIGN.md section 13). Blocking calls are safe from any non-node
+/// thread; Start/Stop must not race them.
 class SocketCluster {
  public:
   explicit SocketCluster(SocketClusterOptions options);
@@ -67,11 +74,15 @@ class SocketCluster {
   [[nodiscard]] Status Start();
   void Stop();
 
-  rt::SocketTransport& transport() { return transport_; }
-  protocol::ReplicaNode& node(NodeId id) { return *nodes_[id]; }
-  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
-  NodeSet all_nodes() const { return NodeSet::Universe(num_nodes()); }
-  const coterie::CoterieRule& rule() const { return *rule_; }
+  [[nodiscard]] rt::SocketTransport& transport() { return transport_; }
+  [[nodiscard]] protocol::ReplicaNode& node(NodeId id) { return *nodes_[id]; }
+  [[nodiscard]] uint32_t num_nodes() const {
+    return static_cast<uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] NodeSet all_nodes() const {
+    return NodeSet::Universe(num_nodes());
+  }
+  [[nodiscard]] const coterie::CoterieRule& rule() const { return *rule_; }
 
   /// Administrative fail-stop: a down node drops inbound and outbound
   /// traffic (its threads stay alive).
@@ -93,7 +104,9 @@ class SocketCluster {
                                             storage::ObjectId object);
 
   /// The placement table of a sharded deployment; null in group mode.
-  const shard::ObjectTable* table() const { return table_.get(); }
+  [[nodiscard]] const shard::ObjectTable* table() const {
+    return table_.get();
+  }
 
   /// WriteSync with bounded retries on lock conflicts (linear real-time
   /// backoff) — the socket-side analogue of Cluster::WriteSyncRetry.

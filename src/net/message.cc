@@ -1,50 +1,47 @@
 #include "net/message.h"
 
-#include <mutex>
 #include <unordered_map>
 
 #include "util/flat_map.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dcp::net {
 
 namespace {
 
 // Node-based containers keep interned string addresses stable for the
-// process lifetime. Function-local statics avoid init-order issues. One
-// mutex guards both tables: interning is cold (first use of a type name
-// per call site, plus inbound decode on the socket backend) and TypeName
-// copies/comparisons never come here.
-std::mutex& InternMutex() {
-  static auto* mu = new std::mutex();
-  return *mu;
+// process lifetime. A single heap-allocated function-local static avoids
+// init-order issues; one mutex guards both tables: interning is cold
+// (first use of a type name per call site, plus inbound decode on the
+// socket backend) and TypeName copies/comparisons never come here.
+struct InternState {
+  util::Mutex mu;
+  std::unordered_map<std::string_view, std::unique_ptr<const std::string>>
+      table DCP_GUARDED_BY(mu);
+  FlatMap<const std::string*> replies DCP_GUARDED_BY(mu);
+};
+
+InternState& State() {
+  static auto* state = new InternState();
+  return *state;
 }
 
-std::unordered_map<std::string_view, std::unique_ptr<const std::string>>&
-InternTable() {
-  static auto* table = new std::unordered_map<std::string_view,
-                                              std::unique_ptr<const std::string>>();
-  return *table;
-}
-
-FlatMap<const std::string*>& ReplyTable() {
-  static auto* table = new FlatMap<const std::string*>();
-  return *table;
-}
-
-const std::string* InternLocked(std::string_view s) {
-  auto& table = InternTable();
-  auto it = table.find(s);
-  if (it != table.end()) return it->second.get();
+const std::string* InternLocked(InternState& state, std::string_view s)
+    DCP_REQUIRES(state.mu) {
+  auto it = state.table.find(s);
+  if (it != state.table.end()) return it->second.get();
   auto owned = std::make_unique<const std::string>(s);
   std::string_view key = *owned;  // Key views the stored string itself.
-  return table.emplace(key, std::move(owned)).first->second.get();
+  return state.table.emplace(key, std::move(owned)).first->second.get();
 }
 
 }  // namespace
 
 const std::string* TypeName::Intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(InternMutex());
-  return InternLocked(s);
+  InternState& state = State();
+  util::MutexLock lock(&state.mu);
+  return InternLocked(state, s);
 }
 
 const std::string* TypeName::EmptyString() {
@@ -53,12 +50,14 @@ const std::string* TypeName::EmptyString() {
 }
 
 TypeName TypeName::Reply() const {
-  std::lock_guard<std::mutex> lock(InternMutex());
-  auto& replies = ReplyTable();
+  InternState& state = State();
+  util::MutexLock lock(&state.mu);
   uint64_t k = key();
-  if (const std::string** cached = replies.Find(k)) return TypeName(*cached);
-  const std::string* reply = InternLocked(*s_ + ".reply");
-  replies.Insert(k, reply);
+  if (const std::string** cached = state.replies.Find(k)) {
+    return TypeName(*cached);
+  }
+  const std::string* reply = InternLocked(state, *s_ + ".reply");
+  state.replies.Insert(k, reply);
   return TypeName(reply);
 }
 

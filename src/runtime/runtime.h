@@ -21,7 +21,7 @@ using Time = double;
 struct TimerId {
   uint64_t seq = 0;
   uint32_t slot = 0;
-  bool valid() const { return seq != 0; }
+  [[nodiscard]] bool valid() const { return seq != 0; }
 };
 
 /// The execution-context half of the transport/runtime seam: a monotonic
@@ -46,7 +46,7 @@ class Runtime {
   virtual ~Runtime() = default;
 
   /// Current time on this runtime's monotonic clock.
-  virtual Time Now() const = 0;
+  [[nodiscard]] virtual Time Now() const = 0;
 
   /// Schedules `fn` to run at `Now() + delay` (delay must be >= 0).
   virtual TimerId Schedule(Time delay, std::function<void()> fn) = 0;
@@ -84,7 +84,7 @@ class PeriodicTimer {
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
 
   void Stop();
-  bool running() const { return state_->running; }
+  [[nodiscard]] bool running() const { return state_->running; }
 
  private:
   struct State {

@@ -77,7 +77,7 @@ class SocketTransport::NodeLoop final : public Runtime {
   TimerId ScheduleAt(Time when, std::function<void()> fn) override {
     uint64_t seq;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       seq = next_timer_seq_++;
       timers_.emplace(std::make_pair(when, seq), std::move(fn));
       timer_deadline_.emplace(seq, when);
@@ -93,7 +93,7 @@ class SocketTransport::NodeLoop final : public Runtime {
 
   bool Cancel(TimerId id) override {
     if (!id.valid()) return false;
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     auto it = timer_deadline_.find(id.seq);
     if (it == timer_deadline_.end()) return false;
     timers_.erase(std::make_pair(it->second, id.seq));
@@ -111,20 +111,22 @@ class SocketTransport::NodeLoop final : public Runtime {
   NodeId id_;
   obs::Observability obs_;
   std::atomic<bool> up_{true};
+  /// Set once via Register before traffic starts; read by workers.
   net::MessageSink* sink_ = nullptr;
 
-  std::mutex mu_;
-  std::deque<net::Message> inbox_;
-  std::deque<std::function<void()>> posted_;
+  util::Mutex mu_;
+  std::deque<net::Message> inbox_ DCP_GUARDED_BY(mu_);
+  std::deque<std::function<void()>> posted_ DCP_GUARDED_BY(mu_);
   /// True while the node sits in the ready queue or a worker drains it;
   /// guarantees at most one worker runs this node's code at a time.
-  bool queued_ = false;
+  bool queued_ DCP_GUARDED_BY(mu_) = false;
 
   // Timers, ordered by (deadline, seq); `timer_deadline_` maps a live
   // timer's seq to its key so Cancel is a lookup, not a scan.
-  std::map<std::pair<Time, uint64_t>, std::function<void()>> timers_;
-  std::map<uint64_t, Time> timer_deadline_;
-  uint64_t next_timer_seq_ = 1;
+  std::map<std::pair<Time, uint64_t>, std::function<void()>> timers_
+      DCP_GUARDED_BY(mu_);
+  std::map<uint64_t, Time> timer_deadline_ DCP_GUARDED_BY(mu_);
+  uint64_t next_timer_seq_ DCP_GUARDED_BY(mu_) = 1;
 };
 
 namespace {
@@ -244,7 +246,7 @@ Status SocketTransport::Start() {
   }
 
   {
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    util::MutexLock lock(&ready_mu_);
     stopping_ = false;
   }
   started_.store(true);
@@ -259,10 +261,10 @@ Status SocketTransport::Start() {
 void SocketTransport::Stop() {
   if (!started_.exchange(false)) return;
   {
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    util::MutexLock lock(&ready_mu_);
     stopping_ = true;
   }
-  ready_cv_.notify_all();
+  ready_cv_.NotifyAll();
   WakeIo();
   if (io_thread_.joinable()) io_thread_.join();
   for (auto& w : workers_) {
@@ -275,19 +277,24 @@ void SocketTransport::Stop() {
       // Mark broken under the queue lock first: a harness thread still
       // inside Send sees `broken` before the fd goes away, so no write
       // can race the close. An active flusher re-checks `broken` after
-      // its in-flight syscall — wait it out before closing the fd.
-      {
-        std::unique_lock<std::mutex> lock(ep->out_mu);
-        ep->broken.store(true, std::memory_order_release);
-        while (ep->flushing) {
-          lock.unlock();
-          std::this_thread::yield();
-          lock.lock();
+      // its in-flight syscall — wait it out (dropping the lock between
+      // checks) before closing the fd.
+      for (;;) {
+        bool flusher_active = false;
+        {
+          util::MutexLock lock(&ep->out_mu);
+          ep->broken.store(true, std::memory_order_release);
+          if (ep->flushing) {
+            flusher_active = true;
+          } else {
+            for (auto& f : ep->outq) pool_.Release(std::move(f.bytes));
+            ep->outq.clear();
+            ep->outq_bytes = 0;
+            ep->out_off = 0;
+          }
         }
-        for (auto& f : ep->outq) pool_.Release(std::move(f.bytes));
-        ep->outq.clear();
-        ep->outq_bytes = 0;
-        ep->out_off = 0;
+        if (!flusher_active) break;
+        std::this_thread::yield();
       }
       if (ep->fd >= 0) {
         ::close(ep->fd);
@@ -343,7 +350,7 @@ TransportCounters SocketTransport::counters() const {
 void SocketTransport::EnqueueReady(NodeLoop* l) {
   bool enqueue = false;
   {
-    std::lock_guard<std::mutex> lock(l->mu_);
+    util::MutexLock lock(&l->mu_);
     if (!l->queued_ && (!l->inbox_.empty() || !l->posted_.empty())) {
       l->queued_ = true;
       enqueue = true;
@@ -351,17 +358,17 @@ void SocketTransport::EnqueueReady(NodeLoop* l) {
   }
   if (enqueue) {
     {
-      std::lock_guard<std::mutex> lock(ready_mu_);
+      util::MutexLock lock(&ready_mu_);
       ready_.push_back(l->id_);
     }
-    ready_cv_.notify_one();
+    ready_cv_.NotifyOne();
   }
 }
 
 void SocketTransport::DeliverLocal(net::Message msg) {
   NodeLoop* l = loop(msg.dst);
   {
-    std::lock_guard<std::mutex> lock(l->mu_);
+    util::MutexLock lock(&l->mu_);
     l->inbox_.push_back(std::move(msg));
   }
   EnqueueReady(l);
@@ -377,7 +384,7 @@ void SocketTransport::DeliverBatch(std::vector<net::Message> batch) {
     NodeLoop* l = loop(dst);
     bool enqueue = false;
     {
-      std::lock_guard<std::mutex> lock(l->mu_);
+      util::MutexLock lock(&l->mu_);
       while (i < batch.size() && batch[i].dst == dst) {
         l->inbox_.push_back(std::move(batch[i]));
         ++i;
@@ -389,10 +396,10 @@ void SocketTransport::DeliverBatch(std::vector<net::Message> batch) {
     }
     if (enqueue) {
       {
-        std::lock_guard<std::mutex> lock(ready_mu_);
+        util::MutexLock lock(&ready_mu_);
         ready_.push_back(l->id_);
       }
-      ready_cv_.notify_one();
+      ready_cv_.NotifyOne();
     }
   }
 }
@@ -400,7 +407,7 @@ void SocketTransport::DeliverBatch(std::vector<net::Message> batch) {
 void SocketTransport::PostClosure(NodeId node, std::function<void()> fn) {
   NodeLoop* l = loop(node);
   {
-    std::lock_guard<std::mutex> lock(l->mu_);
+    util::MutexLock lock(&l->mu_);
     l->posted_.push_back(std::move(fn));
   }
   EnqueueReady(l);
@@ -413,14 +420,16 @@ void SocketTransport::WakeIo() {
   [[maybe_unused]] ssize_t r = ::write(wake_pipe_[1], &b, 1);
 }
 
-SocketTransport::FlushResult SocketTransport::FlushWith(
-    Endpoint& ep, std::unique_lock<std::mutex>& lock) {
-  assert(lock.owns_lock());
+SocketTransport::FlushResult SocketTransport::Flush(Endpoint& ep) {
+  ep.out_mu.Lock();
   // Single-flusher protocol: whoever sets `flushing` owns the drain
   // until the queue empties or the socket blocks. Everyone else just
   // appended their frame — the active flusher will pick it up, which is
   // exactly where multi-frame batches come from.
-  if (ep.flushing) return FlushResult::kDrained;
+  if (ep.flushing) {
+    ep.out_mu.Unlock();
+    return FlushResult::kDrained;
+  }
   ep.flushing = true;
   FlushResult result = FlushResult::kDrained;
   for (;;) {
@@ -459,14 +468,18 @@ SocketTransport::FlushResult SocketTransport::FlushWith(
     const int fd = ep.fd;
 
     // No lock held over the syscall: concurrent senders keep appending
-    // while the kernel copies this batch.
-    lock.unlock();
+    // while the kernel copies this batch. This is the one sanctioned
+    // lock-across-syscall site — the single-flusher drop/reacquire
+    // protocol (DESIGN.md section 13).
+    ep.out_mu.Unlock();
     msghdr mh{};
     mh.msg_iov = iov.data();
     mh.msg_iovlen = niov;
+    // dcp-lint: allow(lock-across-syscall) — out_mu is dropped above and
+    // reacquired below; `flushing` keeps this drain exclusive meanwhile.
     const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
     const int err = errno;
-    lock.lock();
+    ep.out_mu.Lock();
 
     if (n < 0) {
       if (err == EINTR) continue;
@@ -507,6 +520,7 @@ SocketTransport::FlushResult SocketTransport::FlushWith(
     FailQueueLocked(ep);
   }
   ep.flushing = false;
+  ep.out_mu.Unlock();
   return result;
 }
 
@@ -536,7 +550,7 @@ void SocketTransport::TeardownLocked(Endpoint& ep) {
 }
 
 void SocketTransport::Teardown(Endpoint& ep) {
-  std::lock_guard<std::mutex> lock(ep.out_mu);
+  util::MutexLock lock(&ep.out_mu);
   TeardownLocked(ep);
 }
 
@@ -581,11 +595,10 @@ void SocketTransport::Send(net::Message msg, std::function<void()> on_failed) {
   Endpoint* ep = ep_[src][dst].get();
   bool failed = false;
   bool overflow = false;
-  bool need_wake = false;
   if (ep == nullptr) {
     failed = true;
   } else {
-    std::unique_lock<std::mutex> lock(ep->out_mu);
+    util::MutexLock lock(&ep->out_mu);
     if (ep->broken.load(std::memory_order_acquire) || ep->fd < 0) {
       failed = true;
     } else if (ep->outq.size() >= options_.max_queue_frames ||
@@ -596,18 +609,6 @@ void SocketTransport::Send(net::Message msg, std::function<void()> on_failed) {
     } else {
       ep->outq_bytes += frame.size();
       ep->outq.push_back(OutFrame{std::move(frame), src, std::move(on_failed)});
-      switch (FlushWith(*ep, lock)) {
-        case FlushResult::kDrained:
-          break;
-        case FlushResult::kBlocked:
-          // Hand the remainder to the I/O thread via POLLOUT re-arming.
-          if (!ep->want_pollout.exchange(true, std::memory_order_acq_rel)) {
-            need_wake = true;
-          }
-          break;
-        case FlushResult::kError:
-          break;  // Torn down inside the flush; on_failed already posted.
-      }
     }
   }
   if (failed) {
@@ -618,7 +619,23 @@ void SocketTransport::Send(net::Message msg, std::function<void()> on_failed) {
     if (on_failed) PostClosure(src, std::move(on_failed));
     return;
   }
-  if (need_wake) WakeIo();
+  // Opportunistic inline flush, outside the enqueue scope: Flush owns
+  // its own acquire/drop/reacquire cycle (see the header comment). The
+  // gap between enqueue and flush is benign — whoever holds `flushing`
+  // at that moment drains our frame, and a racing teardown fails it via
+  // on_failed either way.
+  switch (Flush(*ep)) {
+    case FlushResult::kDrained:
+      break;
+    case FlushResult::kBlocked:
+      // Hand the remainder to the I/O thread via POLLOUT re-arming.
+      if (!ep->want_pollout.exchange(true, std::memory_order_acq_rel)) {
+        WakeIo();
+      }
+      break;
+    case FlushResult::kError:
+      break;  // Torn down inside the flush; on_failed already posted.
+  }
 }
 
 void SocketTransport::ConsumeFrames(Endpoint& ep) {
@@ -669,7 +686,7 @@ void SocketTransport::IoThread() {
   std::vector<Endpoint*> eps;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(ready_mu_);
+      util::MutexLock lock(&ready_mu_);
       if (stopping_) return;
     }
 
@@ -679,7 +696,7 @@ void SocketTransport::IoThread() {
     for (auto& l : loops_) {
       bool fired = false;
       {
-        std::lock_guard<std::mutex> lock(l->mu_);
+        util::MutexLock lock(&l->mu_);
         while (!l->timers_.empty() && l->timers_.begin()->first.first <= now) {
           auto it = l->timers_.begin();
           l->timer_deadline_.erase(it->first.second);
@@ -732,18 +749,16 @@ void SocketTransport::IoThread() {
       Endpoint& ep = *eps[i];
       if (fds[i].revents & POLLOUT) {
         // Drain the blocked outbound queue from the I/O thread — the
-        // slow-peer wait lives here, never on a worker thread.
-        std::unique_lock<std::mutex> lock(ep.out_mu);
-        if (!ep.broken.load(std::memory_order_acquire)) {
-          switch (FlushWith(ep, lock)) {
-            case FlushResult::kDrained:
-              ep.want_pollout.store(false, std::memory_order_release);
-              break;
-            case FlushResult::kBlocked:
-              break;  // Stay armed.
-            case FlushResult::kError:
-              break;  // Torn down inside the flush.
-          }
+        // slow-peer wait lives here, never on a worker thread. Flush
+        // acquires ep.out_mu itself and checks `broken` on entry.
+        switch (Flush(ep)) {
+          case FlushResult::kDrained:
+            ep.want_pollout.store(false, std::memory_order_release);
+            break;
+          case FlushResult::kBlocked:
+            break;  // Stay armed.
+          case FlushResult::kError:
+            break;  // Torn down inside the flush.
         }
       }
       if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
@@ -777,8 +792,11 @@ void SocketTransport::WorkerThread() {
   for (;;) {
     uint32_t node;
     {
-      std::unique_lock<std::mutex> lock(ready_mu_);
-      ready_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+      util::MutexLock lock(&ready_mu_);
+      // Manual predicate loop (not a wait-with-lambda): thread-safety
+      // analysis does not see through lambda captures, and the explicit
+      // form is what the spurious-wakeup tidy check expects anyway.
+      while (!stopping_ && ready_.empty()) ready_cv_.Wait(lock);
       if (stopping_) return;
       node = ready_.front();
       ready_.pop_front();
@@ -788,7 +806,7 @@ void SocketTransport::WorkerThread() {
     std::deque<std::function<void()>> closures;
     std::deque<net::Message> messages;
     {
-      std::lock_guard<std::mutex> lock(l->mu_);
+      util::MutexLock lock(&l->mu_);
       closures.swap(l->posted_);
       size_t take = std::min(l->inbox_.size(), kDrainBatch);
       for (size_t i = 0; i < take; ++i) {
@@ -807,7 +825,7 @@ void SocketTransport::WorkerThread() {
 
     bool more = false;
     {
-      std::lock_guard<std::mutex> lock(l->mu_);
+      util::MutexLock lock(&l->mu_);
       if (l->inbox_.empty() && l->posted_.empty()) {
         l->queued_ = false;
       } else {
@@ -816,10 +834,10 @@ void SocketTransport::WorkerThread() {
     }
     if (more) {
       {
-        std::lock_guard<std::mutex> lock(ready_mu_);
+        util::MutexLock lock(&ready_mu_);
         ready_.push_back(l->id_);
       }
-      ready_cv_.notify_one();
+      ready_cv_.NotifyOne();
     }
   }
 }
@@ -832,35 +850,41 @@ Status SocketTransport::InjectRawBytesForTest(
     return Status::InvalidArgument("no such endpoint");
   }
   Endpoint& ep = *ep_[src][dst];
-  std::unique_lock<std::mutex> lock(ep.out_mu);
   // Let any in-flight flush finish so the raw bytes land on a frame
-  // boundary relative to already-written traffic.
-  while (ep.flushing) {
-    lock.unlock();
+  // boundary relative to already-written traffic, then keep out_mu held
+  // across the raw writes so no flusher can interleave frames with them.
+  for (;;) {
+    {
+      util::MutexLock lock(&ep.out_mu);
+      if (!ep.flushing) {
+        if (ep.broken.load(std::memory_order_acquire) || ep.fd < 0) {
+          return Status::Unavailable("endpoint is broken");
+        }
+        const uint8_t* p = raw.data();
+        size_t remaining = raw.size();
+        while (remaining > 0) {
+          // dcp-lint: allow(lock-across-syscall) — test-only hook; the
+          // held lock is the point (it excludes concurrent flushers).
+          ssize_t n = ::send(ep.fd, p, remaining, MSG_NOSIGNAL);
+          if (n > 0) {
+            p += n;
+            remaining -= static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{ep.fd, POLLOUT, 0};
+            // dcp-lint: allow(lock-across-syscall) — see above.
+            ::poll(&pfd, 1, kMaxPollMs);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          return Errno("send");
+        }
+        return Status::OK();
+      }
+    }
     std::this_thread::yield();
-    lock.lock();
   }
-  if (ep.broken.load(std::memory_order_acquire) || ep.fd < 0) {
-    return Status::Unavailable("endpoint is broken");
-  }
-  const uint8_t* p = raw.data();
-  size_t remaining = raw.size();
-  while (remaining > 0) {
-    ssize_t n = ::send(ep.fd, p, remaining, MSG_NOSIGNAL);
-    if (n > 0) {
-      p += n;
-      remaining -= static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      pollfd pfd{ep.fd, POLLOUT, 0};
-      ::poll(&pfd, 1, kMaxPollMs);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return Errno("send");
-  }
-  return Status::OK();
 }
 
 void SocketTransport::PauseReadsForTest(NodeId src, NodeId dst, bool paused) {

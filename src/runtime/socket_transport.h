@@ -3,21 +3,21 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/message.h"
 #include "runtime/transport.h"
 #include "util/buffer_pool.h"
+#include "util/mutex.h"
 #include "util/node_set.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dcp::rt {
 
@@ -126,14 +126,14 @@ class SocketTransport final : public Transport {
 
   /// Frames actually written to / read from sockets (self-sends bypass
   /// the wire and are not counted).
-  uint64_t frames_sent() const {
+  [[nodiscard]] uint64_t frames_sent() const {
     return frames_sent_.load(std::memory_order_relaxed);
   }
-  uint64_t frames_received() const {
+  [[nodiscard]] uint64_t frames_received() const {
     return frames_received_.load(std::memory_order_relaxed);
   }
 
-  const util::BufferPool& buffer_pool() const { return pool_; }
+  [[nodiscard]] const util::BufferPool& buffer_pool() const { return pool_; }
 
   // --- fault-injection hooks (tests only) -------------------------------
 
@@ -175,16 +175,17 @@ class SocketTransport final : public Transport {
     std::atomic<bool> want_pollout{false};
     std::atomic<bool> read_paused{false};  ///< Test hook.
 
-    std::mutex out_mu;  ///< Guards everything below.
-    std::deque<OutFrame> outq;
-    size_t out_off = 0;  ///< Bytes of the front frame already written.
-    size_t outq_bytes = 0;
+    util::Mutex out_mu;
+    std::deque<OutFrame> outq DCP_GUARDED_BY(out_mu);
+    /// Bytes of the front frame already written.
+    size_t out_off DCP_GUARDED_BY(out_mu) = 0;
+    size_t outq_bytes DCP_GUARDED_BY(out_mu) = 0;
     /// True while one thread runs the flush loop. The flusher drops
     /// `out_mu` across each writev (no lock held over a syscall), so
     /// concurrent senders keep appending — that is where batching comes
     /// from. Only the flusher pops frames; teardown while a flush is in
     /// flight defers queue cleanup to the flusher.
-    bool flushing = false;
+    bool flushing DCP_GUARDED_BY(out_mu) = false;
   };
 
   enum class FlushResult {
@@ -204,18 +205,20 @@ class SocketTransport final : public Transport {
   void EnqueueReady(NodeLoop* l);
   void WakeIo();
   /// Drains `ep.outq` with scatter-gather writev until empty or
-  /// EWOULDBLOCK, releasing `lock` (which must hold `ep.out_mu`) across
-  /// each syscall. At most one flusher runs per endpoint; a caller that
-  /// finds a flush in progress returns immediately (the active flusher
-  /// picks its frames up). Handles write errors internally (teardown).
-  FlushResult FlushWith(Endpoint& ep, std::unique_lock<std::mutex>& lock);
-  /// Fails every queued send and empties the queue. Requires `ep.out_mu`.
-  void FailQueueLocked(Endpoint& ep);
+  /// EWOULDBLOCK. Acquires `ep.out_mu` itself and drops it across each
+  /// syscall (the single-flusher drop/reacquire protocol — DESIGN.md
+  /// section 13); callers must NOT hold it. At most one flusher runs per
+  /// endpoint; a caller that finds a flush in progress returns
+  /// immediately (the active flusher picks its frames up). Handles write
+  /// errors internally (teardown).
+  FlushResult Flush(Endpoint& ep) DCP_EXCLUDES(ep.out_mu);
+  /// Fails every queued send and empties the queue.
+  void FailQueueLocked(Endpoint& ep) DCP_REQUIRES(ep.out_mu);
   /// Marks the connection broken, shuts the socket down, and fails every
   /// queued send (deferred to the active flusher if one is mid-writev).
-  /// Requires `ep.out_mu`. Idempotent.
-  void TeardownLocked(Endpoint& ep);
-  void Teardown(Endpoint& ep);
+  /// Idempotent.
+  void TeardownLocked(Endpoint& ep) DCP_REQUIRES(ep.out_mu);
+  void Teardown(Endpoint& ep) DCP_EXCLUDES(ep.out_mu);
   void IoThread();
   void WorkerThread();
   /// Drains `ep.rbuf` into complete frames; decodes and routes them.
@@ -237,10 +240,10 @@ class SocketTransport final : public Transport {
 
   SendTap send_tap_;  ///< Install before Start; may run on any thread.
 
-  std::mutex ready_mu_;
-  std::condition_variable ready_cv_;
-  std::deque<uint32_t> ready_;
-  bool stopping_ = false;
+  util::Mutex ready_mu_;
+  util::CondVar ready_cv_;
+  std::deque<uint32_t> ready_ DCP_GUARDED_BY(ready_mu_);
+  bool stopping_ DCP_GUARDED_BY(ready_mu_) = false;
 
   std::thread io_thread_;
   std::vector<std::thread> workers_;
@@ -250,6 +253,14 @@ class SocketTransport final : public Transport {
   /// only wakes it for earlier deadlines.
   std::atomic<double> io_deadline_{0};
 
+  // Transport counters: written by the I/O thread, workers, and sender
+  // threads concurrently; read by bench/metrics threads at any time.
+  // They are lock-free relaxed atomics on purpose — each is an
+  // independent monotonic event count with no cross-field invariant, so
+  // a relaxed snapshot is always some valid point in each counter's
+  // history (and exact once writers quiesce, which is when counters()
+  // is asserted on). Everything that does need cross-field consistency
+  // lives under a mutex above and is DCP_GUARDED_BY-annotated.
   std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> frames_dropped_{0};

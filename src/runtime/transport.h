@@ -26,6 +26,13 @@ namespace dcp::rt {
 ///    the sender was notified via on_failed instead of blocking).
 ///  - writev_calls: flush syscalls issued; frames_sent / writev_calls is
 ///    the realized batching factor.
+///
+/// A counters() snapshot is safe to take from any thread while traffic
+/// flows: backends keep each counter in a lock-free relaxed atomic (they
+/// are independent monotonic event counts with no cross-field invariant),
+/// so a snapshot is some valid point in each counter's history — and
+/// exact once the transport's threads quiesce, which is when tests and
+/// benches assert on it.
 struct TransportCounters {
   uint64_t frames_sent = 0;
   uint64_t frames_received = 0;
@@ -68,7 +75,7 @@ class Transport {
   /// Crash / repair administration. Crashing does not drop registration;
   /// it only makes the node unreachable (fail-stop).
   virtual void SetNodeUp(NodeId node, bool up) = 0;
-  virtual bool IsUp(NodeId node) const = 0;
+  [[nodiscard]] virtual bool IsUp(NodeId node) const = 0;
 
   /// Sends a message. If it turns out undeliverable, `on_failed` (when
   /// provided) fires at the sender side — the transport half of
@@ -84,7 +91,7 @@ class Transport {
 
   /// Wire-level counters (see TransportCounters). Backends without a
   /// wire report zeros.
-  virtual TransportCounters counters() const { return {}; }
+  [[nodiscard]] virtual TransportCounters counters() const { return {}; }
 };
 
 }  // namespace dcp::rt

@@ -71,15 +71,15 @@ class EpochMux {
   void OnCrash();
   void OnRecover();
 
-  EpochMuxStats stats() const;
-  rt::Time tick_interval() const { return tick_interval_; }
+  [[nodiscard]] EpochMuxStats stats() const;
+  [[nodiscard]] rt::Time tick_interval() const { return tick_interval_; }
 
  private:
   void Tick();
   /// Runs the scoped check for `object` if this node currently holds duty
   /// for it and no check for it is already in flight.
   void MaybeCheck(storage::ObjectId object, bool from_dirty);
-  bool HoldsDuty(storage::ObjectId object) const;
+  [[nodiscard]] bool HoldsDuty(storage::ObjectId object) const;
 
   protocol::ReplicaNode* node_;
   EpochMuxOptions options_;

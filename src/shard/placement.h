@@ -59,28 +59,30 @@ class ObjectTable {
  public:
   explicit ObjectTable(PlacementOptions options);
 
-  const PlacementOptions& options() const { return options_; }
-  uint32_t num_objects() const { return options_.num_objects; }
-  PlacementEpoch epoch() const { return epoch_; }
-  const NodeSet& pool() const { return pool_; }
+  [[nodiscard]] const PlacementOptions& options() const { return options_; }
+  [[nodiscard]] uint32_t num_objects() const { return options_.num_objects; }
+  [[nodiscard]] PlacementEpoch epoch() const { return epoch_; }
+  [[nodiscard]] const NodeSet& pool() const { return pool_; }
 
-  const ObjectPlacement& placement(storage::ObjectId object) const {
+  [[nodiscard]] const ObjectPlacement& placement(storage::ObjectId object) const {
     return placements_.at(object);
   }
 
   /// Objects hosted per pool node (diagnostics / balance tests).
-  std::map<NodeId, uint32_t> ReplicaLoad() const;
+  [[nodiscard]] std::map<NodeId, uint32_t> ReplicaLoad() const;
 
   /// Order-insensitive-free digest of the whole table (epoch, pool, and
   /// every placement, in object order). Two tables with equal fingerprints
   /// are byte-identical for protocol purposes.
-  uint64_t Fingerprint() const;
+  [[nodiscard]] uint64_t Fingerprint() const;
 
   /// Recomputes every placement over `new_pool` (same salt, so movement is
   /// minimal), bumps the placement epoch, and appends an audit record.
   RebalanceRecord Rebalance(NodeSet new_pool);
 
-  const std::vector<RebalanceRecord>& audit_log() const { return audit_log_; }
+  [[nodiscard]] const std::vector<RebalanceRecord>& audit_log() const {
+    return audit_log_;
+  }
 
  private:
   uint64_t Score(storage::ObjectId object, NodeId node) const;

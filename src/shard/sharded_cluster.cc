@@ -18,8 +18,8 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
         p.num_nodes = options_.num_nodes;
         p.num_objects = options_.num_objects;
         p.replication_factor = options_.replication_factor;
-        p.num_coterie_classes =
-            std::max<size_t>(1, options_.coterie_classes.size());
+        p.num_coterie_classes = static_cast<uint32_t>(
+            std::max<size_t>(1, options_.coterie_classes.size()));
         p.seed = options_.seed;
         return p;
       }()) {
@@ -92,11 +92,12 @@ NodeId ShardedCluster::RouteCoordinator(storage::ObjectId object) {
     if (network_->IsUp(n)) live_home.Insert(n);
   }
   if (!live_home.Empty()) {
-    return live_home.NthMember(rng_.Uniform(live_home.Size()));
+    return live_home.NthMember(
+        static_cast<uint32_t>(rng_.Uniform(live_home.Size())));
   }
   NodeSet live = UpNodes();
   if (!live.Empty()) {
-    return live.NthMember(rng_.Uniform(live.Size()));
+    return live.NthMember(static_cast<uint32_t>(rng_.Uniform(live.Size())));
   }
   return home.NthMember(0);
 }

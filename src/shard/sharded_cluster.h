@@ -57,26 +57,28 @@ class ShardedCluster {
   ShardedCluster(const ShardedCluster&) = delete;
   ShardedCluster& operator=(const ShardedCluster&) = delete;
 
-  sim::Simulator& simulator() { return sim_; }
-  net::Network& network() { return *network_; }
-  obs::MetricsRegistry& metrics() { return sim_.metrics(); }
-  const ObjectTable& table() const { return table_; }
-  protocol::ReplicaNode& node(NodeId id) { return *nodes_[id]; }
-  EpochMux& mux(NodeId id) { return *muxes_[id]; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return sim_.metrics(); }
+  [[nodiscard]] const ObjectTable& table() const { return table_; }
+  [[nodiscard]] protocol::ReplicaNode& node(NodeId id) { return *nodes_[id]; }
+  [[nodiscard]] EpochMux& mux(NodeId id) { return *muxes_[id]; }
   uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
   uint32_t num_objects() const { return options_.num_objects; }
-  const ShardedClusterOptions& options() const { return options_; }
-  protocol::HistoryRecorder& history(storage::ObjectId object) {
+  [[nodiscard]] const ShardedClusterOptions& options() const {
+    return options_;
+  }
+  [[nodiscard]] protocol::HistoryRecorder& history(storage::ObjectId object) {
     return histories_[object];
   }
   /// The object's home replica set per the placement table.
-  const NodeSet& HomeNodes(storage::ObjectId object) const {
+  [[nodiscard]] const NodeSet& HomeNodes(storage::ObjectId object) const {
     return table_.placement(object).replicas;
   }
 
   /// Picks a coordinator for `object`: a live home node (rotated by the
   /// cluster RNG), falling back to any live node, then home member 0.
-  NodeId RouteCoordinator(storage::ObjectId object);
+  [[nodiscard]] NodeId RouteCoordinator(storage::ObjectId object);
 
   // --- asynchronous client operations ---
   void Write(NodeId coordinator, storage::ObjectId object, storage::Update update,
@@ -116,11 +118,11 @@ class ShardedCluster {
   void Recover(NodeId id);
   void Partition(const std::vector<NodeSet>& groups);
   void Heal();
-  NodeSet UpNodes() const;
+  [[nodiscard]] NodeSet UpNodes() const;
   void RunFor(sim::Time duration);
 
   /// True iff no node currently has a prepared-but-undecided 2PC action.
-  bool Quiescent() const;
+  [[nodiscard]] bool Quiescent() const;
 
   // --- invariant checking (test support) ---
 
@@ -139,7 +141,7 @@ class ShardedCluster {
   [[nodiscard]] Status CheckHistory() const;
 
  private:
-  const coterie::CoterieRule& RuleFor(storage::ObjectId object) const {
+  [[nodiscard]] const coterie::CoterieRule& RuleFor(storage::ObjectId object) const {
     return *rules_[table_.placement(object).coterie_class];
   }
 

@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dcp::util {
 
@@ -41,9 +43,9 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns an empty buffer, reusing a pooled one when available.
-  std::vector<uint8_t> Acquire() {
+  [[nodiscard]] std::vector<uint8_t> Acquire() {
     if (options_.enabled) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!free_.empty()) {
         std::vector<uint8_t> buf = std::move(free_.back());
         free_.pop_back();
@@ -63,22 +65,28 @@ class BufferPool {
       return;  // `buf` destructs here.
     }
     buf.clear();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (free_.size() < options_.max_pooled) free_.push_back(std::move(buf));
   }
 
   /// Acquires that found a pooled buffer / that had to allocate fresh.
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  size_t pooled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// Lock-free monotonic counters; relaxed reads are exact once writers
+  /// quiesce and monotone-approximate while they run.
+  [[nodiscard]] uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t pooled() const {
+    MutexLock lock(&mu_);
     return free_.size();
   }
 
  private:
   const BufferPoolOptions options_;
-  mutable std::mutex mu_;
-  std::vector<std::vector<uint8_t>> free_;
+  mutable Mutex mu_;
+  std::vector<std::vector<uint8_t>> free_ DCP_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

@@ -1,0 +1,114 @@
+#ifndef DCP_UTIL_MUTEX_H_
+#define DCP_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace dcp::util {
+
+/// Thin annotated wrappers over the std synchronization primitives
+/// (DESIGN.md section 13). libstdc++'s `std::mutex` carries no clang
+/// capability attribute, so Thread Safety Analysis cannot reason about
+/// it; these wrappers are the only mutex/condvar types threaded code in
+/// src/ is allowed to hold as members (enforced by the `bare-mutex`
+/// lint rule). They add no state and no behavior — just the capability
+/// surface the `-DDCP_THREAD_SAFETY=ON` lane analyzes.
+///
+/// Idioms:
+///   util::Mutex mu_;
+///   int depth_ DCP_GUARDED_BY(mu_) = 0;
+///
+///   {  // scoped acquire (preferred)
+///     util::MutexLock lock(&mu_);
+///     ++depth_;
+///   }
+///
+///   mu_.Lock();      // manual acquire: only for the documented
+///   ...              // drop/reacquire patterns (single-flusher sendmsg)
+///   mu_.Unlock();    // where RAII cannot express the protocol.
+class DCP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The lock primitives opt out of body analysis: the underlying
+  // std::mutex is unannotated, so clang cannot see that the body
+  // actually acquires/releases the capability this interface declares.
+  // Call sites are still fully checked against the annotations.
+  void Lock() DCP_ACQUIRE() DCP_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void Unlock() DCP_RELEASE() DCP_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() DCP_TRY_ACQUIRE(true)
+      DCP_NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock();
+  }
+
+  /// Underlying std::mutex, for CondVar's wait plumbing only. Never
+  /// lock/unlock through this directly — the analysis cannot see it.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over util::Mutex — the annotated replacement for
+/// std::lock_guard / std::unique_lock. Deliberately not relockable:
+/// clang's scoped-capability analysis of mid-scope Unlock()/Lock() on
+/// the guard object is subtle, and every drop/reacquire site in this
+/// codebase is a documented protocol that reads better with explicit
+/// Mutex::Lock()/Unlock() calls anyway.
+class DCP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DCP_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() DCP_RELEASE() { mu_->Unlock(); }
+
+  /// The mutex this guard holds, for CondVar::Wait.
+  Mutex* mutex() const { return mu_; }
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with util::Mutex. Wait takes the live
+/// MutexLock so the caller provably holds the mutex at the wait site;
+/// it releases and reacquires through the guard's mutex exactly like
+/// std::condition_variable::wait. There is deliberately no predicate
+/// overload: clang's analysis does not propagate the lockset into
+/// lambdas, so callers write the canonical manual loop —
+///
+///   util::MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(lock);
+///
+/// — which both the analysis and the
+/// bugprone-spuriously-wake-up-functions tidy check can verify.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases lock's mutex and blocks until notified; the
+  /// mutex is reacquired before returning. Spurious wakeups happen:
+  /// always call from a while loop re-checking the guarded predicate.
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mutex()->native(),
+                                        std::adopt_lock);
+    // Callers own the predicate re-check loop (see class comment).
+    cv_.wait(native);  // NOLINT(bugprone-spuriously-wake-up-functions)
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dcp::util
+
+#endif  // DCP_UTIL_MUTEX_H_

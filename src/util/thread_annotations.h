@@ -1,0 +1,80 @@
+#ifndef DCP_UTIL_THREAD_ANNOTATIONS_H_
+#define DCP_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (DESIGN.md section 13).
+///
+/// These expand to clang `__attribute__((...))` thread-safety annotations
+/// when compiling under clang and to nothing everywhere else, so the tree
+/// still builds with gcc (which has no analysis) while the dedicated
+/// `-DDCP_THREAD_SAFETY=ON` clang lane turns lock-discipline violations
+/// into compile errors via `-Wthread-safety -Wthread-safety-beta -Werror`.
+///
+/// Use the wrappers in util/mutex.h rather than raw std primitives:
+/// libstdc++'s `std::mutex` carries no capability attribute, so the
+/// analysis cannot see it (and the `bare-mutex` lint rule rejects raw
+/// std::mutex / std::condition_variable members in src/ for exactly that
+/// reason).
+///
+/// The macro set mirrors the modern capability spellings from the clang
+/// documentation (and abseil's thread_annotations.h):
+///
+///  - DCP_CAPABILITY(name)     on a class that represents a lockable
+///                             resource (see util::Mutex).
+///  - DCP_SCOPED_CAPABILITY    on an RAII class that acquires in its
+///                             constructor and releases in its destructor
+///                             (see util::MutexLock).
+///  - DCP_GUARDED_BY(mu)       on a data member: reads/writes require mu.
+///  - DCP_PT_GUARDED_BY(mu)    on a pointer member: the pointee requires mu.
+///  - DCP_REQUIRES(mu)         on a function: callers must hold mu.
+///  - DCP_ACQUIRE(mu...)       on a function: acquires mu, held on return.
+///  - DCP_RELEASE(mu...)       on a function: releases mu.
+///  - DCP_TRY_ACQUIRE(b, mu)   on a function: acquires mu iff it returns b.
+///  - DCP_EXCLUDES(mu)         on a function: callers must NOT hold mu
+///                             (documents and enforces non-reentrancy).
+///  - DCP_RETURN_CAPABILITY(mu) on a function returning a reference to mu.
+///  - DCP_ASSERT_CAPABILITY(mu) on a function that dynamically checks mu.
+///  - DCP_NO_THREAD_SAFETY_ANALYSIS  opt a function body out of analysis
+///                             (lock primitives only; justify in a comment).
+
+#if defined(__clang__)
+#define DCP_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define DCP_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+#define DCP_CAPABILITY(x) DCP_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define DCP_SCOPED_CAPABILITY DCP_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define DCP_GUARDED_BY(x) DCP_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define DCP_PT_GUARDED_BY(x) DCP_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define DCP_REQUIRES(...) \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define DCP_REQUIRES_SHARED(...) \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define DCP_ACQUIRE(...) \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define DCP_RELEASE(...) \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define DCP_TRY_ACQUIRE(...) \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define DCP_EXCLUDES(...) \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define DCP_RETURN_CAPABILITY(x) \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define DCP_ASSERT_CAPABILITY(x) \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define DCP_NO_THREAD_SAFETY_ANALYSIS \
+  DCP_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // DCP_UTIL_THREAD_ANNOTATIONS_H_

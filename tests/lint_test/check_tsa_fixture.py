@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Proves the Thread Safety Analysis lane has teeth.
+
+Compiles tests/lint_test/fixtures/src/runtime/unguarded_state.cc — a
+deliberately racy read of a DCP_GUARDED_BY member — under clang with the
+exact flags the DCP_THREAD_SAFETY CMake option uses, and asserts:
+
+  1. the racy variant FAILS to compile, with the canonical TSA
+     diagnostic ("requires holding mutex") in stderr;
+  2. the -DDCP_TSA_FIXTURE_FIXED variant (which takes the lock) PASSES.
+
+Together these catch the two ways the lane can silently rot: annotations
+that stop expanding (everything compiles, nothing is analyzed) and flags
+that stop erroring (diagnoses but never fails CI).
+
+Exit codes: 0 = both assertions hold, 1 = an assertion failed,
+77 = no clang on PATH (ctest SKIP_RETURN_CODE; gcc has no equivalent
+analysis, so there is nothing to check).
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+FIXTURE = os.path.join(REPO, "tests", "lint_test", "fixtures", "src",
+                       "runtime", "unguarded_state.cc")
+
+TSA_FLAGS = [
+    "-std=c++20", "-fsyntax-only",
+    "-Wthread-safety", "-Wthread-safety-beta",
+    "-Werror=thread-safety", "-Werror=thread-safety-beta",
+    "-I", os.path.join(REPO, "src"),
+]
+
+# The diagnostic text TSA emits for an unguarded read; pinned loosely so
+# clang wording drift across versions does not flake the check.
+EXPECT_DIAG = "requires holding mutex"
+
+
+def find_clang():
+    env = os.environ.get("CLANGXX")
+    if env and shutil.which(env):
+        return env
+    candidates = ["clang++"] + [f"clang++-{v}" for v in range(21, 13, -1)]
+    for c in candidates:
+        if shutil.which(c):
+            return c
+    return None
+
+
+def compile_fixture(clang, extra):
+    proc = subprocess.run([clang] + TSA_FLAGS + extra + [FIXTURE],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    clang = find_clang()
+    if clang is None:
+        print("SKIP: no clang on PATH (set CLANGXX to override); "
+              "thread-safety analysis needs clang")
+        return 77
+
+    failures = 0
+
+    rc, stderr = compile_fixture(clang, [])
+    if rc == 0:
+        print("FAIL: racy fixture compiled clean — the TSA lane would "
+              "never fire (annotations not expanding, or flags not "
+              "erroring?)")
+        failures += 1
+    elif EXPECT_DIAG not in stderr:
+        print("FAIL: racy fixture failed for the wrong reason "
+              f"(no '{EXPECT_DIAG}' diagnostic). stderr:\n{stderr}")
+        failures += 1
+    else:
+        print(f"PASS: racy fixture rejected by {clang} with the expected "
+              "TSA diagnostic")
+
+    rc, stderr = compile_fixture(clang, ["-DDCP_TSA_FIXTURE_FIXED"])
+    if rc != 0:
+        print("FAIL: fixed fixture (lock taken) did not compile — the "
+              f"flags are over-firing. stderr:\n{stderr}")
+        failures += 1
+    else:
+        print("PASS: fixed fixture compiles clean under the same flags")
+
+    if failures:
+        return 1
+    print("tsa fixture check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+// dcp_lint fixture: the bare-mutex rule — raw std sync primitives as
+// class members (invisible to clang Thread Safety Analysis), and
+// util::Mutex members that guard no annotated state.
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#define DCP_GUARDED_BY(x)
+
+namespace util {
+class Mutex {};
+class CondVar {};
+}  // namespace util
+
+class BadQueue {
+ public:
+  void Push(int v);
+
+ private:
+  std::mutex mu_;  // dcp-lint-expect: bare-mutex
+  std::condition_variable cv_;  // dcp-lint-expect: bare-mutex
+  std::deque<int> items_;
+};
+
+class BadSharedIndex {
+  mutable std::shared_mutex index_mu_;  // dcp-lint-expect: bare-mutex
+  std::vector<int> index_;
+};
+
+// A wrapper mutex that provably guards nothing: either dead weight or,
+// more likely, the members it protects were never annotated.
+class UnusedGuard {
+  util::Mutex mu_;  // dcp-lint-expect: bare-mutex
+  int counter_ = 0;
+};
+
+// Clean: wrapper primitives with annotated guarded state.
+class GoodQueue {
+ public:
+  void Push(int v);
+
+ private:
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<int> items_ DCP_GUARDED_BY(mu_);
+};
+
+// Clean: function-local std primitives are std-idiomatic and irrelevant
+// to the analysis (TSA only tracks capabilities that outlive a call).
+void LocalsAreFine() {
+  std::mutex local_mu;
+  std::condition_variable local_cv;
+  (void)local_mu;
+  (void)local_cv;
+}
+
+// Clean: suppressed at the declaration site.
+class Suppressed {
+  // dcp-lint: allow(bare-mutex) — FFI boundary; the external API hands
+  // this type a std::mutex it must keep verbatim.
+  std::mutex ffi_mu_;
+};

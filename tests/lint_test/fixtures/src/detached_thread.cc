@@ -1,0 +1,49 @@
+// dcp_lint fixture: the detached-thread rule — detach() anywhere (a
+// detached thread has no join point and races teardown), and
+// std::thread members in classes with no destructor to join them.
+#include <thread>
+#include <vector>
+
+void FireAndForget() {
+  std::thread t([] {});
+  t.detach();  // dcp-lint-expect: detached-thread
+}
+
+// Members with no destructor: nothing can be joining these.
+class NoDtorPool {
+ public:
+  void Start();
+
+ private:
+  std::thread io_thread_;  // dcp-lint-expect: detached-thread
+  std::vector<std::thread> workers_;  // dcp-lint-expect: detached-thread
+};
+
+// Clean: the destructor is the join point.
+class JoiningPool {
+ public:
+  ~JoiningPool() {
+    if (io_thread_.joinable()) io_thread_.join();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+ private:
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+};
+
+// Clean: function-local thread that is joined.
+void LocalJoined() {
+  std::thread t([] {});
+  t.join();
+}
+
+// Clean: suppressed — a process-lifetime daemon sanctioned at the site.
+void SuppressedDetach() {
+  std::thread watchdog([] {});
+  // dcp-lint: allow(detached-thread) — process-lifetime watchdog; exits
+  // with the process by design.
+  watchdog.detach();
+}

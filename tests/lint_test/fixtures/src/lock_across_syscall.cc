@@ -1,0 +1,90 @@
+// dcp_lint fixture: the lock-across-syscall rule — a blocking syscall
+// lexically below a lock acquisition in the same block stalls every
+// thread behind that lock for the syscall's duration. The analysis is
+// deliberately conservative (no unlock tracking); sanctioned
+// drop/reacquire patterns are annotated at the syscall site.
+//
+// The stub mutex members here deliberately guard nothing:
+// dcp-lint: allow-file(bare-mutex)
+
+struct msghdr;
+struct pollfd {
+  int fd;
+  short events;
+  short revents;
+};
+
+extern "C" {
+long sendmsg(int fd, const msghdr* mh, int flags);
+long send(int fd, const void* buf, unsigned long len, int flags);
+int poll(pollfd* fds, unsigned long nfds, int timeout);
+}
+
+namespace util {
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+}  // namespace util
+
+class Flusher {
+ public:
+  // Scoped guard held across the send syscall: one slow peer wedges
+  // every other sender queued behind out_mu_.
+  void BadScopedFlush(int fd, const msghdr* mh) {
+    util::MutexLock lock(&out_mu_);
+    (void)sendmsg(fd, mh, 0);  // dcp-lint-expect: lock-across-syscall
+  }
+
+  // Manual lock with the syscall before the unlock.
+  void BadManualFlush(int fd, const void* buf, unsigned long len) {
+    out_mu_.Lock();
+    (void)send(fd, buf, len, 0);  // dcp-lint-expect: lock-across-syscall
+    out_mu_.Unlock();
+  }
+
+  // Waiting for POLLOUT while holding the queue lock.
+  void BadPollWait(int fd) {
+    util::MutexLock lock(&out_mu_);
+    pollfd pfd{fd, 1, 0};
+    (void)poll(&pfd, 1, 50);  // dcp-lint-expect: lock-across-syscall
+  }
+
+  // Clean: the lock's block closes before the syscall.
+  void GoodFlushOutsideLock(int fd, const msghdr* mh) {
+    {
+      util::MutexLock lock(&out_mu_);
+      dirty_ = false;
+    }
+    (void)sendmsg(fd, mh, 0);
+  }
+
+  // Clean: sanctioned drop/reacquire — the lock is NOT held at the
+  // syscall, and the allow annotation documents exactly that.
+  void AllowedFlusherDrop(int fd, const msghdr* mh) {
+    out_mu_.Lock();
+    out_mu_.Unlock();
+    // dcp-lint: allow(lock-across-syscall) — out_mu_ dropped above and
+    // reacquired below; a flushing flag keeps the drain exclusive.
+    (void)sendmsg(fd, mh, 0);
+    out_mu_.Lock();
+    out_mu_.Unlock();
+  }
+
+  // Clean: the syscall precedes the acquisition.
+  void SyscallBeforeLockIsClean(int fd, const msghdr* mh) {
+    (void)sendmsg(fd, mh, 0);
+    util::MutexLock lock(&out_mu_);
+    dirty_ = false;
+  }
+
+ private:
+  util::Mutex out_mu_;
+  bool dirty_ = false;
+};

@@ -1,0 +1,45 @@
+// TSA fixture: a deliberately racy read of a guarded member. The
+// thread-safety lane (clang -Wthread-safety -Wthread-safety-beta
+// -Werror) must REFUSE to compile this file as-is, and must ACCEPT it
+// when compiled with -DDCP_TSA_FIXTURE_FIXED (which adds the missing
+// lock). Driven by tests/lint_test/check_tsa_fixture.py; see DESIGN.md
+// section 13. Under gcc the annotations expand to nothing and the file
+// compiles either way — the check script skips when clang is absent.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace dcp {
+
+class Counter {
+ public:
+  void Bump() {
+    util::MutexLock lock(&mu_);
+    ++guarded_;
+  }
+
+  // BUG (by design): reads `guarded_` without holding `mu_`. Clang TSA
+  // rejects this ("reading variable 'guarded_' requires holding mutex
+  // 'mu_'") unless the fixed variant takes the lock first.
+  [[nodiscard]] uint64_t Peek() const {
+#ifdef DCP_TSA_FIXTURE_FIXED
+    util::MutexLock lock(&mu_);
+#endif
+    return guarded_;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  uint64_t guarded_ DCP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dcp
+
+// The class is exercised by compilation alone; reference it so the
+// fixture also builds as a standalone translation unit.
+int main() {
+  dcp::Counter c;
+  c.Bump();
+  return static_cast<int>(c.Peek() & 1);
+}
